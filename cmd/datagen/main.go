@@ -1,0 +1,53 @@
+// Command datagen emits the paper's evaluation datasets as CSV on stdout,
+// in the format cmd/maxrs consumes.
+//
+// Examples:
+//
+//	datagen -dist uniform -n 250000 > uniform.csv
+//	datagen -dist gaussian -n 250000 -extent 1000000 > gaussian.csv
+//	datagen -dist ux > ux.csv      # synthetic UX stand-in, 19,499 points
+//	datagen -dist ne > ne.csv      # synthetic NE stand-in, 123,593 points
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"maxrs/internal/geom"
+	"maxrs/internal/workload"
+)
+
+func main() {
+	var (
+		dist   = flag.String("dist", "uniform", "uniform | gaussian | ux | ne")
+		n      = flag.Int("n", 250000, "cardinality (uniform/gaussian)")
+		extent = flag.Float64("extent", workload.SpaceExtent, "coordinate range [0, extent]")
+		seed   = flag.Int64("seed", 2012, "generator seed")
+	)
+	flag.Parse()
+
+	var objs []geom.Object
+	switch strings.ToLower(*dist) {
+	case "uniform":
+		objs = workload.Uniform(*seed, *n, *extent)
+	case "gaussian":
+		objs = workload.Gaussian(*seed, *n, *extent)
+	case "ux":
+		objs = workload.SyntheticUX(*seed)
+	case "ne":
+		objs = workload.SyntheticNE(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown distribution %q\n", *dist)
+		os.Exit(1)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "# %s dataset, %d objects, seed %d\n", *dist, len(objs), *seed)
+	for _, o := range objs {
+		fmt.Fprintf(w, "%g,%g,%g\n", o.X, o.Y, o.W)
+	}
+}

@@ -1,0 +1,89 @@
+// Command maxrsbench regenerates the tables and figures of the paper's
+// evaluation (§7). Each experiment prints the same rows/series the paper
+// reports, measured on the EM simulator.
+//
+// Usage:
+//
+//	maxrsbench -exp=all                 # everything, paper scale
+//	maxrsbench -exp=fig12 -scale=0.1    # one figure at 10% cardinality
+//	maxrsbench -exp=fig13,fig17
+//
+// At -scale below 1 the buffer sizes shrink with the data (-bufscale
+// defaults to -scale) so the baselines stay on their external paths.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"maxrs/internal/experiments"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "comma-separated: table2,table3,fig12,fig13,fig14,fig15,fig16,fig17,all")
+		scale     = flag.Float64("scale", 1.0, "cardinality scale factor (1 = paper scale)")
+		bufscale  = flag.Float64("bufscale", 0, "buffer scale factor (default: same as -scale)")
+		seed      = flag.Int64("seed", 2012, "data generation seed")
+		oracleCap = flag.Int("oraclecap", 50000, "max points fed to the exact MaxCRS oracle (fig17)")
+	)
+	flag.Parse()
+	if *bufscale == 0 {
+		*bufscale = *scale
+	}
+	cfg := experiments.Config{
+		Scale:     *scale,
+		BufScale:  *bufscale,
+		Seed:      *seed,
+		OracleCap: *oracleCap,
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	run := func(name string, fn func() error) {
+		if !all && !want[name] {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	fmt.Printf("maxrsbench: scale=%g bufscale=%g seed=%d\n\n", *scale, *bufscale, *seed)
+	run("table2", func() error { experiments.Table2(os.Stdout, cfg); return nil })
+	run("table3", func() error { experiments.Table3(os.Stdout); return nil })
+	multi := func(fn func(experiments.Config) ([]experiments.Series, error)) func() error {
+		return func() error {
+			series, err := fn(cfg)
+			if err != nil {
+				return err
+			}
+			for _, s := range series {
+				experiments.Render(os.Stdout, s)
+			}
+			return nil
+		}
+	}
+	run("fig12", multi(experiments.Fig12))
+	run("fig13", multi(experiments.Fig13))
+	run("fig14", multi(experiments.Fig14))
+	run("fig15", multi(experiments.Fig15))
+	run("fig16", multi(experiments.Fig16))
+	run("fig17", func() error {
+		s, err := experiments.Fig17(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.Render(os.Stdout, s)
+		return nil
+	})
+}

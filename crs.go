@@ -1,0 +1,79 @@
+package maxrs
+
+import (
+	"fmt"
+	"math"
+
+	"maxrs/internal/crs"
+	"maxrs/internal/geom"
+)
+
+// CRSResult is a MaxCRS answer.
+type CRSResult struct {
+	// Location is the chosen circle center.
+	Location Point
+	// Score is the total weight covered by the diameter-d circle at
+	// Location.
+	Score float64
+	// LowerBoundRatio is the guaranteed worst-case fraction of the
+	// optimum that Score attains (1/4 for ApproxMaxCRS, 1 for the exact
+	// solver).
+	LowerBoundRatio float64
+}
+
+// MaxCRS approximates the circular MaxRS problem with the paper's
+// ApproxMaxCRS algorithm (§6): it runs the external-memory ExactMaxRS on
+// the circles' bounding squares and returns the best of the max-region
+// center and four shifted candidates. The answer is guaranteed to cover
+// at least 1/4 of the optimal weight (Theorem 3) and empirically ~90% for
+// realistic densities (Fig. 17).
+func (e *Engine) MaxCRS(d *Dataset, diameter float64) (CRSResult, error) {
+	if !(diameter > 0) || math.IsInf(diameter, 0) {
+		return CRSResult{}, fmt.Errorf("maxrs: diameter %g must be positive and finite", diameter)
+	}
+	res, err := crs.Approx(e.solver, d.file, diameter)
+	if err != nil {
+		return CRSResult{}, err
+	}
+	return CRSResult{
+		Location:        Point{X: res.Center.X, Y: res.Center.Y},
+		Score:           res.Weight,
+		LowerBoundRatio: 0.25,
+	}, nil
+}
+
+// MaxCRS is the one-shot convenience form of Engine.MaxCRS.
+func MaxCRS(objs []Object, diameter float64, opts *Options) (CRSResult, error) {
+	e, err := NewEngine(opts)
+	if err != nil {
+		return CRSResult{}, err
+	}
+	d, err := e.Load(objs)
+	if err != nil {
+		return CRSResult{}, err
+	}
+	return e.MaxCRS(d, diameter)
+}
+
+// MaxCRSExact solves MaxCRS exactly with the in-memory arrangement-sweep
+// oracle (the role Drezner's O(n² log n) algorithm plays in the paper's
+// quality experiment). It requires the dataset in memory and non-negative
+// weights; use it for moderate n or as a quality reference.
+func MaxCRSExact(objs []Object, diameter float64) (CRSResult, error) {
+	if !(diameter > 0) || math.IsInf(diameter, 0) {
+		return CRSResult{}, fmt.Errorf("maxrs: diameter %g must be positive and finite", diameter)
+	}
+	gobjs := make([]geom.Object, len(objs))
+	for i, o := range objs {
+		if o.Weight < 0 {
+			return CRSResult{}, fmt.Errorf("maxrs: MaxCRSExact requires non-negative weights, got %g", o.Weight)
+		}
+		gobjs[i] = geom.Object{Point: geom.Point{X: o.X, Y: o.Y}, W: o.Weight}
+	}
+	res := crs.Exact(gobjs, diameter)
+	return CRSResult{
+		Location:        Point{X: res.Center.X, Y: res.Center.Y},
+		Score:           res.Weight,
+		LowerBoundRatio: 1,
+	}, nil
+}

@@ -1,0 +1,44 @@
+// Quickstart: the smallest possible MaxRS program.
+//
+// A handful of points, a 4×4 query rectangle, one call — prints the best
+// center location and the weight it covers.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"maxrs"
+)
+
+func main() {
+	objs := []maxrs.Object{
+		{X: 1, Y: 1, Weight: 1},
+		{X: 2, Y: 2, Weight: 1},
+		{X: 3, Y: 1, Weight: 1},
+		{X: 2, Y: 3, Weight: 1},
+		{X: 40, Y: 40, Weight: 1},
+		{X: 41, Y: 40, Weight: 1},
+	}
+
+	// nil options = paper defaults: 4 KB blocks, 1 MB memory, ExactMaxRS.
+	res, err := maxrs.MaxRS(objs, 4, 4, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best 4x4 placement: center (%.2f, %.2f) covering weight %.0f\n",
+		res.Location.X, res.Location.Y, res.Score)
+	fmt.Printf("all optimal centers: x in [%g, %g), y in [%g, %g)\n",
+		res.Region.MinX, res.Region.MaxX, res.Region.MinY, res.Region.MaxY)
+
+	// The circular variant: ApproxMaxCRS with its 1/4 worst-case bound
+	// (about 0.9 in practice — see Fig. 17 of the paper).
+	crs, err := maxrs.MaxCRS(objs, 4, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best circle (d=4): center (%.2f, %.2f) covering weight %.0f\n",
+		crs.Location.X, crs.Location.Y, crs.Score)
+}

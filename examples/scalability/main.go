@@ -1,0 +1,73 @@
+// Scalability: the paper's headline claim in miniature — ExactMaxRS vs
+// the two plane-sweep baselines as the dataset grows past the memory
+// budget, measured in EM-model block transfers (the paper's metric).
+//
+// Prints a small version of Fig. 12: I/O per algorithm per cardinality.
+//
+//	go run ./examples/scalability
+package main
+
+import (
+	"fmt"
+	"log"
+	"text/tabwriter"
+
+	"os"
+
+	"maxrs"
+	"maxrs/internal/workload"
+)
+
+func main() {
+	const (
+		blockSize = 1024
+		memory    = 64 * 1024 // 64 KB budget: datasets below quickly outgrow it
+	)
+	algos := []maxrs.Algorithm{maxrs.NaiveSweep, maxrs.ASBTree, maxrs.ExactMaxRS}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "N\tdataset\t")
+	for _, a := range algos {
+		fmt.Fprintf(tw, "%v I/O\t", a)
+	}
+	fmt.Fprintln(tw, "best score")
+
+	for _, n := range []int{5000, 10000, 20000, 40000} {
+		pts := workload.Uniform(99, n, float64(4*n))
+		objs := make([]maxrs.Object, len(pts))
+		for i, p := range pts {
+			objs[i] = maxrs.Object{X: p.X, Y: p.Y, Weight: 1}
+		}
+		queryEdge := float64(4*n) / 100 // covers ~1/10000 of the space
+
+		fmt.Fprintf(tw, "%d\t%dKB\t", n, n*24/1024)
+		var score float64
+		for _, algo := range algos {
+			engine, err := maxrs.NewEngine(&maxrs.Options{
+				BlockSize: blockSize,
+				Memory:    memory,
+				Algorithm: algo,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ds, err := engine.Load(objs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			engine.ResetStats()
+			res, err := engine.MaxRS(ds, queryEdge, queryEdge)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(tw, "%d\t", engine.Stats().Total())
+			score = res.Score
+		}
+		fmt.Fprintf(tw, "%.0f\n", score)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nAll three algorithms return identical optima; only the I/O differs.")
+	fmt.Println("ExactMaxRS scales near-linearly (Theorem 2); the baselines do not.")
+}

@@ -1,0 +1,180 @@
+package maxrs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"maxrs/internal/em"
+	"maxrs/internal/geom"
+	"maxrs/internal/rec"
+)
+
+// This file implements the extensions the paper lists as future work (§8):
+// the MaxkRS problem (top-k placements), the MinRS problem, and the
+// alternative aggregates mentioned in §2 (COUNT alongside SUM).
+
+// TopK solves the MaxkRS problem with the standard greedy semantics: it
+// repeatedly finds the best location, removes the objects its rectangle
+// covers, and recurses, returning up to k results in non-increasing score
+// order. Results therefore cover disjoint object subsets (their rectangles
+// may still geometrically overlap empty space). Iteration stops early when
+// no remaining object can be covered.
+//
+// Each round costs one full MaxRS solve plus one linear filtering scan, so
+// the total is k times the cost of Engine.MaxRS.
+func (e *Engine) TopK(d *Dataset, w, h float64, k int) ([]Result, error) {
+	if err := checkQuery(w, h); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("maxrs: k = %d must be ≥ 1", k)
+	}
+	results := make([]Result, 0, k)
+	cur := d.file
+	owned := false // whether cur is an intermediate we must release
+	for round := 0; round < k; round++ {
+		if cur.Size() == 0 {
+			break
+		}
+		res, err := e.solver.SolveObjects(cur, w, h)
+		if err != nil {
+			return nil, err
+		}
+		if res.Sum <= 0 {
+			break // nothing left to cover
+		}
+		results = append(results, fromSweep(res))
+		rect := geom.RectFromCenter(res.Best(), w, h)
+		next, err := filterObjects(e.env, cur, func(o rec.Object) bool {
+			return !rect.Contains(geom.Point{X: o.X, Y: o.Y})
+		})
+		if err != nil {
+			return nil, err
+		}
+		if owned {
+			if err := cur.Release(); err != nil {
+				return nil, err
+			}
+		}
+		cur, owned = next, true
+	}
+	if owned {
+		if err := cur.Release(); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// filterObjects streams in into a fresh file keeping objects where keep
+// returns true.
+func filterObjects(env em.Env, in *em.File, keep func(rec.Object) bool) (*em.File, error) {
+	rr, err := em.NewRecordReader(in, rec.ObjectCodec{})
+	if err != nil {
+		return nil, err
+	}
+	out := em.NewFile(env.Disk)
+	w, err := em.NewRecordWriter(out, rec.ObjectCodec{})
+	if err != nil {
+		return nil, err
+	}
+	for {
+		o, err := rr.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, err
+		}
+		if keep(o) {
+			if err := w.Write(o); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MinRS finds the center location of a w×h rectangle minimizing the total
+// covered weight — the MinRS problem of §8. It negates every weight and
+// runs ExactMaxRS, so a location whose rectangle covers nothing is a valid
+// (score 0) answer when one exists; with negative-weight objects present
+// the optimum may be strictly below zero.
+func (e *Engine) MinRS(d *Dataset, w, h float64) (Result, error) {
+	if err := checkQuery(w, h); err != nil {
+		return Result{}, err
+	}
+	negated, err := mapObjects(e.env, d.file, func(o rec.Object) rec.Object {
+		o.W = -o.W
+		return o
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := e.solver.SolveObjects(negated, w, h)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := negated.Release(); err != nil {
+		return Result{}, err
+	}
+	out := fromSweep(res)
+	out.Score = -out.Score
+	return out, nil
+}
+
+// CountRS solves MaxRS under the COUNT aggregate (§2): every object
+// contributes 1 regardless of its weight.
+func (e *Engine) CountRS(d *Dataset, w, h float64) (Result, error) {
+	if err := checkQuery(w, h); err != nil {
+		return Result{}, err
+	}
+	unit, err := mapObjects(e.env, d.file, func(o rec.Object) rec.Object {
+		o.W = 1
+		return o
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := e.solver.SolveObjects(unit, w, h)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := unit.Release(); err != nil {
+		return Result{}, err
+	}
+	return fromSweep(res), nil
+}
+
+// mapObjects streams in into a fresh file applying f to every record.
+func mapObjects(env em.Env, in *em.File, f func(rec.Object) rec.Object) (*em.File, error) {
+	rr, err := em.NewRecordReader(in, rec.ObjectCodec{})
+	if err != nil {
+		return nil, err
+	}
+	out := em.NewFile(env.Disk)
+	w, err := em.NewRecordWriter(out, rec.ObjectCodec{})
+	if err != nil {
+		return nil, err
+	}
+	for {
+		o, err := rr.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, err
+		}
+		if err := w.Write(f(o)); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,492 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"maxrs/internal/em"
+	"maxrs/internal/extsort"
+	"maxrs/internal/geom"
+	"maxrs/internal/rec"
+	"maxrs/internal/sweep"
+)
+
+// The aSB-Tree is a static B-ary aggregate tree over the sorted distinct
+// x-coordinates of all rectangle edges. Leaf entry i represents the
+// elementary cell [key_i, key_{i+1}) and stores its current
+// location-weight; internal entries store a child pointer, the subtree's
+// minimum key, a lazy pending add, and the subtree maximum (inclusive of
+// the entry's own pending add). A sweep event performs one lazy range-add
+// descent; the global maximum is read off the root.
+//
+// Node block layout:
+//
+//	[0:2)  uint16 entry count
+//	[2:3)  1 if leaf
+//	[3:]   entries — leaf: key f64, sum f64 (16 B)
+//	               internal: minKey f64, child i64, add f64, max f64 (32 B)
+const (
+	asbHeader       = 3
+	asbLeafEntry    = 16
+	asbIntEntry     = 32
+	asbMinBlockSize = asbHeader + 2*asbIntEntry // need ≥ 2 internal entries
+)
+
+// asbTree is the on-disk tree plus its buffer pool.
+type asbTree struct {
+	disk *em.Disk
+	pool *em.BufferPool
+	root em.BlockID
+}
+
+type asbNodeRef struct {
+	id     em.BlockID
+	minKey float64
+}
+
+func f64at(b []byte, off int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+}
+
+func putF64at(b []byte, off int, v float64) {
+	binary.LittleEndian.PutUint64(b[off:], math.Float64bits(v))
+}
+
+func i64at(b []byte, off int) int64 { return int64(binary.LittleEndian.Uint64(b[off:])) }
+
+func putI64at(b []byte, off int, v int64) { binary.LittleEndian.PutUint64(b[off:], uint64(v)) }
+
+// buildASBTree bulk-loads the tree from a sorted, deduplicated key file.
+func buildASBTree(env em.Env, keys *em.File) (*asbTree, error) {
+	if env.B() < asbMinBlockSize {
+		return nil, fmt.Errorf("baseline: block size %d too small for aSB-tree nodes", env.B())
+	}
+	frames := env.MemBlocks()
+	pool, err := em.NewBufferPool(env.Disk, frames)
+	if err != nil {
+		return nil, err
+	}
+	t := &asbTree{disk: env.Disk, pool: pool}
+	leafCap := (env.B() - asbHeader) / asbLeafEntry
+	intCap := (env.B() - asbHeader) / asbIntEntry
+
+	// Leaf level.
+	kr, err := em.NewRecordReader(keys, rec.Float64Codec{})
+	if err != nil {
+		return nil, err
+	}
+	var level []asbNodeRef
+	var buf []byte
+	var count int
+	var nodeMin float64
+	flushLeaf := func() error {
+		if count == 0 {
+			return nil
+		}
+		id := t.disk.Alloc()
+		data, err := pool.GetNew(id)
+		if err != nil {
+			return err
+		}
+		copy(data, buf)
+		binary.LittleEndian.PutUint16(data[0:], uint16(count))
+		data[2] = 1
+		level = append(level, asbNodeRef{id: id, minKey: nodeMin})
+		count = 0
+		return nil
+	}
+	buf = make([]byte, env.B())
+	for {
+		k, err := kr.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, err
+		}
+		if count == 0 {
+			nodeMin = k
+			for i := range buf {
+				buf[i] = 0
+			}
+		}
+		putF64at(buf, asbHeader+count*asbLeafEntry, k)
+		putF64at(buf, asbHeader+count*asbLeafEntry+8, 0)
+		count++
+		if count == leafCap {
+			if err := flushLeaf(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flushLeaf(); err != nil {
+		return nil, err
+	}
+	if len(level) == 0 {
+		return nil, errors.New("baseline: empty key set")
+	}
+
+	// Internal levels.
+	for len(level) > 1 {
+		var next []asbNodeRef
+		for lo := 0; lo < len(level); lo += intCap {
+			hi := lo + intCap
+			if hi > len(level) {
+				hi = len(level)
+			}
+			id := t.disk.Alloc()
+			data, err := pool.GetNew(id)
+			if err != nil {
+				return nil, err
+			}
+			for i := range data {
+				data[i] = 0
+			}
+			binary.LittleEndian.PutUint16(data[0:], uint16(hi-lo))
+			data[2] = 0
+			for i, child := range level[lo:hi] {
+				off := asbHeader + i*asbIntEntry
+				putF64at(data, off, child.minKey)
+				putI64at(data, off+8, int64(child.id))
+				putF64at(data, off+16, 0) // add
+				putF64at(data, off+24, 0) // max
+			}
+			next = append(next, asbNodeRef{id: id, minKey: level[lo].minKey})
+		}
+		level = next
+	}
+	t.root = level[0].id
+	return t, nil
+}
+
+// rangeAdd adds w to every elementary cell whose key lies in [x1, x2) and
+// returns the new subtree maximum of node id (inclusive of lazy adds
+// stored at or below it). hi is the exclusive upper key bound of the
+// node's subtree.
+func (t *asbTree) rangeAdd(id em.BlockID, hi float64, x1, x2, w float64) (float64, error) {
+	data, err := t.pool.Get(id)
+	if err != nil {
+		return 0, err
+	}
+	n := int(binary.LittleEndian.Uint16(data[0:]))
+	max := math.Inf(-1)
+	if data[2] == 1 { // leaf
+		for i := 0; i < n; i++ {
+			off := asbHeader + i*asbLeafEntry
+			k := f64at(data, off)
+			if k >= x1 && k < x2 {
+				putF64at(data, off+8, f64at(data, off+8)+w)
+				// Mark dirty immediately: deferring past any eviction
+				// point would silently drop the mutation.
+				if err := t.pool.MarkDirty(id); err != nil {
+					return 0, err
+				}
+			}
+			if s := f64at(data, off+8); s > max {
+				max = s
+			}
+		}
+		return max, nil
+	}
+	for i := 0; i < n; i++ {
+		off := asbHeader + i*asbIntEntry
+		lo := f64at(data, off)
+		entryHi := hi
+		if i+1 < n {
+			entryHi = f64at(data, off+asbIntEntry)
+		}
+		if lo >= x1 && entryHi <= x2 {
+			// Fully covered: lazy add.
+			putF64at(data, off+16, f64at(data, off+16)+w)
+			putF64at(data, off+24, f64at(data, off+24)+w)
+			if err := t.pool.MarkDirty(id); err != nil {
+				return 0, err
+			}
+		} else if lo < x2 && x1 < entryHi {
+			child := em.BlockID(i64at(data, off+8))
+			childMax, err := t.rangeAdd(child, entryHi, x1, x2, w)
+			if err != nil {
+				return 0, err
+			}
+			// The recursion may have evicted this node; re-pin before
+			// touching its bytes again.
+			data, err = t.pool.Get(id)
+			if err != nil {
+				return 0, err
+			}
+			putF64at(data, off+24, childMax+f64at(data, off+16))
+			if err := t.pool.MarkDirty(id); err != nil {
+				return 0, err
+			}
+		}
+		if m := f64at(data, off+24); m > max {
+			max = m
+		}
+	}
+	return max, nil
+}
+
+// rootMax returns the current global maximum location-weight.
+func (t *asbTree) rootMax() (float64, error) {
+	data, err := t.pool.Get(t.root)
+	if err != nil {
+		return 0, err
+	}
+	n := int(binary.LittleEndian.Uint16(data[0:]))
+	max := math.Inf(-1)
+	if data[2] == 1 {
+		for i := 0; i < n; i++ {
+			if s := f64at(data, asbHeader+i*asbLeafEntry+8); s > max {
+				max = s
+			}
+		}
+		return max, nil
+	}
+	for i := 0; i < n; i++ {
+		if m := f64at(data, asbHeader+i*asbIntEntry+24); m > max {
+			max = m
+		}
+	}
+	return max, nil
+}
+
+// findMax descends greedily along the largest subtree maximum to an
+// elementary cell attaining the global maximum and returns its interval.
+// The descent uses argmax, not float equality, so it is robust to the
+// rounding drift that lazy add accumulation can introduce with
+// non-integer weights.
+func (t *asbTree) findMax() (geom.Interval, error) {
+	id := t.root
+	hi := math.Inf(1)
+	for {
+		data, err := t.pool.Get(id)
+		if err != nil {
+			return geom.Interval{}, err
+		}
+		n := int(binary.LittleEndian.Uint16(data[0:]))
+		if n == 0 {
+			return geom.Interval{}, errors.New("baseline: empty aSB-tree node")
+		}
+		if data[2] == 1 {
+			bestI, bestV := 0, math.Inf(-1)
+			for i := 0; i < n; i++ {
+				off := asbHeader + i*asbLeafEntry
+				if s := f64at(data, off+8); s > bestV {
+					bestI, bestV = i, s
+				}
+			}
+			off := asbHeader + bestI*asbLeafEntry
+			cellHi := hi
+			if bestI+1 < n {
+				cellHi = f64at(data, off+asbLeafEntry)
+			}
+			return geom.Interval{Lo: f64at(data, off), Hi: cellHi}, nil
+		}
+		bestI, bestV := 0, math.Inf(-1)
+		for i := 0; i < n; i++ {
+			off := asbHeader + i*asbIntEntry
+			if m := f64at(data, off+24); m > bestV {
+				bestI, bestV = i, m
+			}
+		}
+		off := asbHeader + bestI*asbIntEntry
+		if bestI+1 < n {
+			hi = f64at(data, off+asbIntEntry)
+		}
+		id = em.BlockID(i64at(data, off+8))
+	}
+}
+
+// ASBTreeSweep answers MaxRS for the objects in objFile with a w×h
+// rectangle using the aSB-Tree plane sweep.
+func ASBTreeSweep(env em.Env, objFile *em.File, w, h float64) (sweep.Result, error) {
+	if err := env.Validate(); err != nil {
+		return sweep.Result{}, err
+	}
+	if objFile.Size() == 0 {
+		return sweep.Result{Region: geom.Rect{
+			X: geom.Interval{Lo: math.Inf(-1), Hi: math.Inf(1)},
+			Y: geom.Interval{Lo: math.Inf(-1), Hi: math.Inf(1)},
+		}}, nil
+	}
+	events, _, err := transformToEvents(env, objFile, w, h)
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	// Key universe: sorted distinct x-edges.
+	edges := em.NewFile(env.Disk)
+	xw, err := em.NewRecordWriter(edges, rec.Float64Codec{})
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	er, err := em.NewRecordReader(events, rec.EventCodec{})
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	for {
+		e, err := er.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return sweep.Result{}, err
+		}
+		if e.Top {
+			continue
+		}
+		if err := xw.Write(e.X1); err != nil {
+			return sweep.Result{}, err
+		}
+		if err := xw.Write(e.X2); err != nil {
+			return sweep.Result{}, err
+		}
+	}
+	if err := xw.Close(); err != nil {
+		return sweep.Result{}, err
+	}
+	sortedEdges, err := extsort.Sort(env, edges, rec.Float64Codec{},
+		func(a, b float64) bool { return a < b })
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	if err := edges.Release(); err != nil {
+		return sweep.Result{}, err
+	}
+	keys, err := dedupeSorted(env, sortedEdges)
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	if err := sortedEdges.Release(); err != nil {
+		return sweep.Result{}, err
+	}
+	tree, err := buildASBTree(env, keys)
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	if err := keys.Release(); err != nil {
+		return sweep.Result{}, err
+	}
+
+	sortedEvents, err := extsort.Sort(env, events, rec.EventCodec{}, rec.Event.Less)
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	if err := events.Release(); err != nil {
+		return sweep.Result{}, err
+	}
+
+	res, err := asbSweep(tree, sortedEvents)
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	if err := sortedEvents.Release(); err != nil {
+		return sweep.Result{}, err
+	}
+	return res, nil
+}
+
+func asbSweep(tree *asbTree, events *em.File) (sweep.Result, error) {
+	er, err := em.NewRecordReader(events, rec.EventCodec{})
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	best := sweep.Result{Region: geom.Rect{
+		X: geom.Interval{Lo: math.Inf(-1), Hi: math.Inf(1)},
+		Y: geom.Interval{Lo: math.Inf(-1), Hi: math.Inf(1)},
+	}}
+	first := true
+	pending := false
+
+	var cur rec.Event
+	haveCur := false
+	for {
+		if !haveCur {
+			cur, err = er.Read()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				return sweep.Result{}, err
+			}
+			haveCur = true
+		}
+		y := cur.Y
+		if pending {
+			best.Region.Y.Hi = y
+			pending = false
+		}
+		for haveCur && cur.Y == y {
+			d := cur.W
+			if cur.Top {
+				d = -d
+			}
+			if _, err := tree.rangeAdd(tree.root, math.Inf(1), cur.X1, cur.X2, d); err != nil {
+				return sweep.Result{}, err
+			}
+			cur, err = er.Read()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					haveCur = false
+					break
+				}
+				return sweep.Result{}, err
+			}
+		}
+		m, err := tree.rootMax()
+		if err != nil {
+			return sweep.Result{}, err
+		}
+		if first || m > best.Sum {
+			iv, err := tree.findMax()
+			if err != nil {
+				return sweep.Result{}, err
+			}
+			best = sweep.Result{
+				Region: geom.Rect{X: iv, Y: geom.Interval{Lo: y, Hi: math.Inf(1)}},
+				Sum:    m,
+			}
+			pending = true
+			first = false
+		}
+	}
+	return best, nil
+}
+
+// dedupeSorted streams a sorted float64 file into a new file with
+// duplicates removed.
+func dedupeSorted(env em.Env, in *em.File) (*em.File, error) {
+	rr, err := em.NewRecordReader(in, rec.Float64Codec{})
+	if err != nil {
+		return nil, err
+	}
+	out := em.NewFile(env.Disk)
+	w, err := em.NewRecordWriter(out, rec.Float64Codec{})
+	if err != nil {
+		return nil, err
+	}
+	var last float64
+	haveLast := false
+	for {
+		v, err := rr.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, err
+		}
+		if haveLast && v == last {
+			continue
+		}
+		if err := w.Write(v); err != nil {
+			return nil, err
+		}
+		last, haveLast = v, true
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,304 @@
+// Package baseline implements the two comparison methods of the paper's
+// evaluation (§7.1), both externalizations of the in-memory plane sweep
+// originally proposed by Du et al. [9] for optimal-location queries:
+//
+//   - NaiveSweep: the "Naive Plane Sweep" — the sweep status lives in a
+//     plain sorted file that is re-read and re-written from disk for every
+//     event, with no caching across events. When the whole input fits in
+//     memory it degenerates to one loading scan plus an in-memory sweep,
+//     reproducing the paper's observation that Naive wins on the small UX
+//     dataset once the buffer swallows it (Fig. 15a).
+//
+//   - ASBTree: the "aSB-Tree" — a static, bulk-loaded, B-ary aggregate
+//     tree over every rectangle edge x-coordinate, performing one lazy
+//     range-add descent per sweep event through an LRU buffer pool. Its
+//     cost is O(N log_B N) transfers, strongly buffer-sensitive because a
+//     larger pool caches more tree levels.
+//
+// Both produce exactly the same MaxRS answers as ExactMaxRS; only the I/O
+// cost differs. That is the point of the comparison.
+package baseline
+
+import (
+	"errors"
+	"io"
+	"math"
+
+	"maxrs/internal/em"
+	"maxrs/internal/extsort"
+	"maxrs/internal/geom"
+	"maxrs/internal/rec"
+	"maxrs/internal/sweep"
+)
+
+// transformToEvents streams the object file into an unsorted event file
+// (two events per object's transformed rectangle) and reports the count.
+func transformToEvents(env em.Env, objFile *em.File, w, h float64) (*em.File, int64, error) {
+	rr, err := em.NewRecordReader(objFile, rec.ObjectCodec{})
+	if err != nil {
+		return nil, 0, err
+	}
+	events := em.NewFile(env.Disk)
+	ew, err := em.NewRecordWriter(events, rec.EventCodec{})
+	if err != nil {
+		return nil, 0, err
+	}
+	var n int64
+	for {
+		o, err := rr.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, 0, err
+		}
+		r := rec.FromObject(o, w, h)
+		bottom, top := rec.EventsOf(r)
+		if err := ew.Write(bottom); err != nil {
+			return nil, 0, err
+		}
+		if err := ew.Write(top); err != nil {
+			return nil, 0, err
+		}
+		n += 2
+	}
+	if err := ew.Close(); err != nil {
+		return nil, 0, err
+	}
+	return events, n, nil
+}
+
+// breakpoint is one status record: location-weight is Sum on [X, nextX).
+type breakpoint struct {
+	X, Sum float64
+}
+
+type breakpointCodec struct{}
+
+func (breakpointCodec) Size() int { return 16 }
+func (breakpointCodec) Encode(dst []byte, b breakpoint) {
+	rec.Float64Codec{}.Encode(dst[0:], b.X)
+	rec.Float64Codec{}.Encode(dst[8:], b.Sum)
+}
+func (breakpointCodec) Decode(src []byte) breakpoint {
+	return breakpoint{
+		X:   rec.Float64Codec{}.Decode(src[0:]),
+		Sum: rec.Float64Codec{}.Decode(src[8:]),
+	}
+}
+
+// NaiveSweep answers MaxRS for the objects in objFile with a w×h rectangle
+// using the externalized naive plane sweep.
+func NaiveSweep(env em.Env, objFile *em.File, w, h float64) (sweep.Result, error) {
+	if err := env.Validate(); err != nil {
+		return sweep.Result{}, err
+	}
+	// Practical shortcut (paper §7.2.4): when the dataset fits in the
+	// buffer, a single scan loads it and the sweep runs in memory.
+	if objFile.Size() <= int64(env.M) {
+		return naiveInMemory(objFile, w, h)
+	}
+	events, _, err := transformToEvents(env, objFile, w, h)
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	sorted, err := extsort.Sort(env, events, rec.EventCodec{}, rec.Event.Less)
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	if err := events.Release(); err != nil {
+		return sweep.Result{}, err
+	}
+	res, err := naiveExternalSweep(env, sorted)
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	if err := sorted.Release(); err != nil {
+		return sweep.Result{}, err
+	}
+	return res, nil
+}
+
+func naiveInMemory(objFile *em.File, w, h float64) (sweep.Result, error) {
+	recs, err := em.ReadAll(objFile, rec.ObjectCodec{})
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	objs := make([]geom.Object, len(recs))
+	for i, r := range recs {
+		objs[i] = r.Geom()
+	}
+	return sweep.MaxRS(objs, w, h), nil
+}
+
+// naiveExternalSweep runs the sweep with the status file rewritten per
+// event. The returned result carries the best strip found.
+func naiveExternalSweep(env em.Env, events *em.File) (sweep.Result, error) {
+	er, err := em.NewRecordReader(events, rec.EventCodec{})
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	status := em.NewFile(env.Disk) // empty status: weight 0 everywhere
+
+	best := sweep.Result{Region: geom.Rect{
+		X: geom.Interval{Lo: math.Inf(-1), Hi: math.Inf(1)},
+		Y: geom.Interval{Lo: math.Inf(-1), Hi: math.Inf(1)},
+	}}
+	first := true
+	pending := false
+
+	var cur rec.Event
+	haveCur := false
+	for {
+		if !haveCur {
+			cur, err = er.Read()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				return sweep.Result{}, err
+			}
+			haveCur = true
+		}
+		y := cur.Y
+		if pending {
+			best.Region.Y.Hi = y
+			pending = false
+		}
+		// Apply every event at this h-line, one status rewrite each.
+		var lineMax float64
+		var lineIv geom.Interval
+		for haveCur && cur.Y == y {
+			d := cur.W
+			if cur.Top {
+				d = -d
+			}
+			status, lineMax, lineIv, err = rewriteStatus(env, status, cur.X1, cur.X2, d)
+			if err != nil {
+				return sweep.Result{}, err
+			}
+			cur, err = er.Read()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					haveCur = false
+					break
+				}
+				return sweep.Result{}, err
+			}
+		}
+		if first || lineMax > best.Sum {
+			best = sweep.Result{
+				Region: geom.Rect{X: lineIv, Y: geom.Interval{Lo: y, Hi: math.Inf(1)}},
+				Sum:    lineMax,
+			}
+			pending = true
+			first = false
+		}
+	}
+	if err := status.Release(); err != nil {
+		return sweep.Result{}, err
+	}
+	return best, nil
+}
+
+// rewriteStatus streams the old status file into a fresh one, adding delta
+// on [x1, x2), and returns the new file together with the maximum
+// location-weight and a maximal interval attaining it.
+func rewriteStatus(env em.Env, old *em.File, x1, x2, delta float64) (*em.File, float64, geom.Interval, error) {
+	rr, err := em.NewRecordReader(old, breakpointCodec{})
+	if err != nil {
+		return nil, 0, geom.Interval{}, err
+	}
+	out := em.NewFile(env.Disk)
+	w, err := em.NewRecordWriter(out, breakpointCodec{})
+	if err != nil {
+		return nil, 0, geom.Interval{}, err
+	}
+
+	// Max tracking over the emitted (deduplicated) breakpoint stream.
+	maxSum := math.Inf(-1)
+	maxIv := geom.Interval{Lo: math.Inf(-1), Hi: math.Inf(1)}
+	maxOpen := false
+	lastWritten := math.NaN() // Sum of the last emitted breakpoint
+	haveWritten := false
+	emit := func(b breakpoint) error {
+		// Drop redundant breakpoints (same value as the running region).
+		if haveWritten && b.Sum == lastWritten {
+			return nil
+		}
+		// Close the current max run when the value changes.
+		if maxOpen && b.Sum != maxSum {
+			maxIv.Hi = b.X
+			maxOpen = false
+		}
+		if b.Sum > maxSum {
+			maxSum = b.Sum
+			maxIv = geom.Interval{Lo: b.X, Hi: math.Inf(1)}
+			maxOpen = true
+		}
+		lastWritten = b.Sum
+		haveWritten = true
+		return w.Write(b)
+	}
+
+	// The new breakpoint positions are the old ones plus {x1, x2}. Merge
+	// them in ascending order; at each distinct position compute the new
+	// value = original running value + delta iff the position lies in
+	// [x1, x2). The implicit leading region (-inf, first) has value 0.
+	var oldB breakpoint
+	haveOld := false
+	readOld := func() error {
+		b, err := rr.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				haveOld = false
+				return nil
+			}
+			return err
+		}
+		oldB, haveOld = b, true
+		return nil
+	}
+	if err := readOld(); err != nil {
+		return nil, 0, geom.Interval{}, err
+	}
+	injects := [2]float64{x1, x2}
+	nextInject := 0
+	orig := 0.0 // original value at the current position
+	if err := emit(breakpoint{X: math.Inf(-1), Sum: 0}); err != nil {
+		return nil, 0, geom.Interval{}, err
+	}
+	for haveOld || nextInject < 2 {
+		// Next distinct position across both sources.
+		p := math.Inf(1)
+		if haveOld {
+			p = oldB.X
+		}
+		if nextInject < 2 && injects[nextInject] < p {
+			p = injects[nextInject]
+		}
+		if haveOld && oldB.X == p {
+			orig = oldB.Sum
+			if err := readOld(); err != nil {
+				return nil, 0, geom.Interval{}, err
+			}
+		}
+		for nextInject < 2 && injects[nextInject] == p {
+			nextInject++
+		}
+		newVal := orig
+		if p >= x1 && p < x2 {
+			newVal += delta
+		}
+		if err := emit(breakpoint{X: p, Sum: newVal}); err != nil {
+			return nil, 0, geom.Interval{}, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, 0, geom.Interval{}, err
+	}
+	if err := old.Release(); err != nil {
+		return nil, 0, geom.Interval{}, err
+	}
+	return out, maxSum, maxIv, nil
+}

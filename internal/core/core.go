@@ -1,0 +1,388 @@
+// Package core implements ExactMaxRS (§5), the paper's primary
+// contribution: the first external-memory algorithm for the MaxRS problem,
+// I/O-optimal at O((N/B) log_{M/B}(N/B)) block transfers.
+//
+// # Structure
+//
+// The algorithm is the distribution-sweep divide and conquer of Algorithm 2:
+//
+//  1. Transform every object into its centered d1×d2 rectangle (§5.1).
+//  2. Recursively divide the data space into m = Θ(M/B) vertical slabs so
+//     that each slab receives roughly the same number of rectangle vertical
+//     edges (Lemma 1). Rectangle pieces that span a whole sub-slab are
+//     diverted to a per-node spanning file R′ and never recursed on.
+//  3. When a sub-problem fits in memory, solve it with the in-memory plane
+//     sweep (internal/sweep), emitting a slab file of max-interval tuples.
+//  4. MergeSweep (Algorithm 1) zips the m child slab files and the spanning
+//     file bottom-to-top into the parent's slab file.
+//
+// # Representation choices
+//
+// A recursion node's rectangle set is stored as an *event file*: two
+// records per rectangle piece (bottom edge, top edge), each carrying the
+// full piece geometry, kept sorted by y. Sorting by y is established once
+// at the root and preserved by distribution, which makes every later pass
+// — including the spanning files consumed by MergeSweep — a linear scan.
+//
+// Slab boundaries must split the *vertical edges* evenly (Lemma 1's
+// termination argument), and the paper's input is x-sorted for that
+// purpose. Because our piece files are y-sorted instead, every node also
+// carries an x-sorted *edge-value file* holding the multiset of its
+// pieces' vertical-edge x-coordinates; boundary quantiles are read off it
+// in one linear pass, and it is split (order-preserving, with clipped
+// boundary values inserted at the splice points) alongside the events.
+// This keeps the whole recursion free of sorts below the root and
+// preserves the optimal I/O bound.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"maxrs/internal/em"
+	"maxrs/internal/extsort"
+	"maxrs/internal/geom"
+	"maxrs/internal/rec"
+	"maxrs/internal/sweep"
+)
+
+// maxDepth bounds the recursion. The divide phase shrinks every child
+// geometrically, so real inputs stay far below this; it exists to convert
+// a logic bug into an error instead of a hang.
+const maxDepth = 200
+
+// ErrNoProgress reports that a recursion step failed to shrink a
+// sub-problem — impossible for valid inputs, kept as a tripwire.
+var ErrNoProgress = errors.New("core: division made no progress")
+
+// Config tunes ExactMaxRS. The zero value means "paper defaults".
+type Config struct {
+	// Fanout overrides the number of sub-slabs m per recursion step.
+	// 0 selects the paper's m = Θ(M/B) (all memory blocks minus the
+	// reader and spanning-writer buffers). Used by ablation benches.
+	Fanout int
+}
+
+// Solver runs ExactMaxRS instances under one EM environment.
+type Solver struct {
+	env em.Env
+	cfg Config
+}
+
+// NewSolver validates the environment and returns a Solver.
+func NewSolver(env em.Env, cfg Config) (*Solver, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Fanout == 1 || cfg.Fanout < 0 {
+		return nil, fmt.Errorf("core: fanout %d must be 0 (auto) or ≥ 2", cfg.Fanout)
+	}
+	return &Solver{env: env, cfg: cfg}, nil
+}
+
+// Env returns the solver's EM environment.
+func (s *Solver) Env() em.Env { return s.env }
+
+// fanout returns m for the current configuration.
+func (s *Solver) fanout() int {
+	if s.cfg.Fanout > 1 {
+		return s.cfg.Fanout
+	}
+	// One block for the input reader, one for the spanning writer, the
+	// rest for the m child writers (division) / child readers (merge).
+	m := s.env.MemBlocks() - 2
+	if m < 2 {
+		m = 2
+	}
+	return m
+}
+
+// capacity returns the number of event records that fit in memory — the
+// base-case threshold |R| ≤ M of Algorithm 2.
+func (s *Solver) capacity() int64 {
+	return int64(s.env.M / rec.PieceEventCodec{}.Size())
+}
+
+// node is one sub-problem of the recursion.
+type node struct {
+	events *em.File // piece events, sorted by y (2 per piece)
+	edges  *em.File // piece vertical-edge x values, sorted ascending
+	slab   geom.Interval
+	count  int64 // number of event records
+}
+
+// SolveObjects answers MaxRS for the objects in objFile with a w×h query
+// rectangle: it transforms objects to rectangles (§5.1) and solves the
+// transformed problem. The object file is not modified.
+func (s *Solver) SolveObjects(objFile *em.File, w, h float64) (sweep.Result, error) {
+	if w <= 0 || h <= 0 {
+		return sweep.Result{}, fmt.Errorf("core: query size %gx%g must be positive", w, h)
+	}
+	rr, err := em.NewRecordReader(objFile, rec.ObjectCodec{})
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	events, edges, n, err := s.buildInput(func() (rec.WRect, error) {
+		o, err := rr.Read()
+		if err != nil {
+			return rec.WRect{}, err
+		}
+		return rec.FromObject(o, w, h), nil
+	})
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	return s.solveTransformed(events, edges, n)
+}
+
+// SolveRects answers the transformed MaxRS problem (Definition 5) for an
+// arbitrary weighted-rectangle file, e.g. circle MBRs from ApproxMaxCRS.
+func (s *Solver) SolveRects(rectFile *em.File) (sweep.Result, error) {
+	rr, err := em.NewRecordReader(rectFile, rec.WRectCodec{})
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	events, edges, n, err := s.buildInput(rr.Read)
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	return s.solveTransformed(events, edges, n)
+}
+
+func (s *Solver) solveTransformed(events, edges *em.File, count int64) (sweep.Result, error) {
+	slabFile, err := s.slabFileOf(events, edges, count)
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	res, err := BestOfSlabFile(slabFile)
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	if err := slabFile.Release(); err != nil {
+		return sweep.Result{}, err
+	}
+	return res, nil
+}
+
+// slabFileOf sorts the freshly built input files and runs the recursion,
+// returning the final whole-space slab file. Input files are consumed.
+func (s *Solver) slabFileOf(events, edges *em.File, count int64) (*em.File, error) {
+	sortedEvents, err := extsort.Sort(s.env, events, rec.PieceEventCodec{},
+		func(a, b rec.PieceEvent) bool { return a.Y() < b.Y() })
+	if err != nil {
+		return nil, err
+	}
+	if err := events.Release(); err != nil {
+		return nil, err
+	}
+	sortedEdges, err := extsort.Sort(s.env, edges, rec.Float64Codec{},
+		func(a, b float64) bool { return a < b })
+	if err != nil {
+		return nil, err
+	}
+	if err := edges.Release(); err != nil {
+		return nil, err
+	}
+	root := node{
+		events: sortedEvents,
+		edges:  sortedEdges,
+		slab:   geom.Interval{Lo: math.Inf(-1), Hi: math.Inf(1)},
+		count:  count,
+	}
+	return s.solve(root, 0)
+}
+
+// buildInput drains next() until io.EOF, writing two events and four edge
+// values per rectangle (unsorted).
+func (s *Solver) buildInput(next func() (rec.WRect, error)) (events, edges *em.File, count int64, err error) {
+	events = em.NewFile(s.env.Disk)
+	edges = em.NewFile(s.env.Disk)
+	ew, err := em.NewRecordWriter(events, rec.PieceEventCodec{})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	xw, err := em.NewRecordWriter(edges, rec.Float64Codec{})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	for {
+		r, err := next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, nil, 0, err
+		}
+		if r.X1 >= r.X2 || r.Y1 >= r.Y2 {
+			continue // degenerate rectangle covers nothing
+		}
+		bottom, top := rec.PieceEventsOf(r)
+		if err := ew.Write(bottom); err != nil {
+			return nil, nil, 0, err
+		}
+		if err := ew.Write(top); err != nil {
+			return nil, nil, 0, err
+		}
+		// Two copies of each vertical edge — one per event record — so the
+		// edge-file invariant (two values per piece edge) is uniform across
+		// recursion levels.
+		for i := 0; i < 2; i++ {
+			if err := xw.Write(r.X1); err != nil {
+				return nil, nil, 0, err
+			}
+			if err := xw.Write(r.X2); err != nil {
+				return nil, nil, 0, err
+			}
+		}
+		count += 2
+	}
+	if err := ew.Close(); err != nil {
+		return nil, nil, 0, err
+	}
+	if err := xw.Close(); err != nil {
+		return nil, nil, 0, err
+	}
+	return events, edges, count, nil
+}
+
+// solve is Algorithm 2: recursive divide, conquer, MergeSweep.
+func (s *Solver) solve(n node, depth int) (*em.File, error) {
+	if depth > maxDepth {
+		return nil, fmt.Errorf("%w: depth %d exceeded", ErrNoProgress, depth)
+	}
+	if n.count <= s.capacity() {
+		return s.baseCase(n)
+	}
+	bounds, err := s.chooseBounds(n)
+	if err != nil {
+		return nil, err
+	}
+	if len(bounds) == 0 {
+		// No usable split point: every edge value sits on the slab border,
+		// which would mean every piece spans the slab — impossible because
+		// such pieces are diverted to R′ by the parent. Tripwire.
+		return nil, fmt.Errorf("%w: no interior boundary in slab %v", ErrNoProgress, n.slab)
+	}
+	children, spanning, err := s.route(n, bounds)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.events.Release(); err != nil {
+		return nil, err
+	}
+	if err := n.edges.Release(); err != nil {
+		return nil, err
+	}
+	slabFiles := make([]*em.File, len(children))
+	for i, c := range children {
+		if c.count >= n.count {
+			return nil, fmt.Errorf("%w: child %d kept all %d events", ErrNoProgress, i, n.count)
+		}
+		sf, err := s.solve(c, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		slabFiles[i] = sf
+	}
+	out, err := s.mergeSweep(slabFiles, spanning, bounds, n.slab)
+	if err != nil {
+		return nil, err
+	}
+	for _, sf := range slabFiles {
+		if err := sf.Release(); err != nil {
+			return nil, err
+		}
+	}
+	if err := spanning.Release(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// baseCase loads a memory-sized node and runs the in-memory plane sweep
+// (Algorithm 2 line 9), writing the node's slab file.
+func (s *Solver) baseCase(n node) (*em.File, error) {
+	rr, err := em.NewRecordReader(n.events, rec.PieceEventCodec{})
+	if err != nil {
+		return nil, err
+	}
+	rects := make([]rec.WRect, 0, n.count/2)
+	for {
+		e, err := rr.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, err
+		}
+		if e.Top {
+			continue // the bottom event carries the full geometry
+		}
+		rects = append(rects, e.R)
+	}
+	tuples := sweep.Slab(rects, n.slab)
+	out := em.NewFile(s.env.Disk)
+	tw, err := em.NewRecordWriter(out, rec.TupleCodec{})
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range tuples {
+		if err := tw.Write(t); err != nil {
+			return nil, err
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return nil, err
+	}
+	if err := n.events.Release(); err != nil {
+		return nil, err
+	}
+	if err := n.edges.Release(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BestOfSlabFile streams a whole-space slab file and returns the
+// max-region: the strip of the best tuple, extended up to the next tuple's
+// h-line (§5.2.4, "we can find the max-region by comparing sum values of
+// tuples trivially").
+func BestOfSlabFile(slabFile *em.File) (sweep.Result, error) {
+	rr, err := em.NewRecordReader(slabFile, rec.TupleCodec{})
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	best := sweep.Result{Region: geom.Rect{
+		X: geom.Interval{Lo: math.Inf(-1), Hi: math.Inf(1)},
+		Y: geom.Interval{Lo: math.Inf(-1), Hi: math.Inf(1)},
+	}}
+	first := true
+	havePending := false // best awaits its strip's top y (the next tuple's y)
+	for {
+		t, err := rr.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return sweep.Result{}, err
+		}
+		if havePending {
+			best.Region.Y.Hi = t.Y
+			havePending = false
+		}
+		if first || t.Sum > best.Sum {
+			best = sweep.Result{
+				Region: geom.Rect{
+					X: geom.Interval{Lo: t.X1, Hi: t.X2},
+					Y: geom.Interval{Lo: t.Y, Hi: math.Inf(1)},
+				},
+				Sum: t.Sum,
+			}
+			havePending = true
+			first = false
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"maxrs/internal/em"
+	"maxrs/internal/geom"
+	"maxrs/internal/rec"
+)
+
+// chooseBounds reads the node's x-sorted edge-value file once and returns
+// up to fanout−1 strictly increasing boundary values, each strictly inside
+// the node's slab, splitting the edge multiset into roughly equal parts
+// (the division criterion of §5.2.1 / Lemma 1).
+func (s *Solver) chooseBounds(n node) ([]float64, error) {
+	m := s.fanout()
+	if m < 4 && s.cfg.Fanout == 0 {
+		// For pathologically small memories an auto-selected fan-out below
+		// 4 cannot guarantee that tied edge values straddle a quantile
+		// rank; clamp (documented deviation, ≤ 2 blocks of slack). An
+		// explicitly configured fan-out (ablation) is honored as-is.
+		m = 4
+	}
+	total := em.RecordCount(n.edges, rec.Float64Codec{}.Size())
+	if total == 0 {
+		return nil, nil
+	}
+	rr, err := em.NewRecordReader(n.edges, rec.Float64Codec{})
+	if err != nil {
+		return nil, err
+	}
+	step := total / int64(m)
+	if step < 1 {
+		step = 1
+	}
+	var bounds []float64
+	nextRank := step
+	var minInterior, maxInterior float64
+	haveInterior := false
+	for i := int64(0); i < total; i++ {
+		v, err := rr.Read()
+		if err != nil {
+			return nil, err
+		}
+		interior := v > n.slab.Lo && v < n.slab.Hi && !math.IsInf(v, 0)
+		if interior {
+			if !haveInterior {
+				minInterior, maxInterior, haveInterior = v, v, true
+			} else {
+				maxInterior = v
+			}
+		}
+		if i+1 == nextRank {
+			nextRank += step
+			if !interior {
+				continue
+			}
+			if len(bounds) == 0 || v > bounds[len(bounds)-1] {
+				bounds = append(bounds, v)
+			}
+		}
+	}
+	if len(bounds) == 0 && haveInterior {
+		// Quantile ranks all landed on border-valued edges; fall back to a
+		// single interior split so recursion still progresses.
+		if minInterior < maxInterior {
+			bounds = []float64{minInterior + (maxInterior-minInterior)/2}
+		} else {
+			bounds = []float64{minInterior}
+		}
+	}
+	return bounds, nil
+}
+
+// slabLo returns the low x-boundary of child i under bounds within slab.
+func slabLo(slab geom.Interval, bounds []float64, i int) float64 {
+	if i == 0 {
+		return slab.Lo
+	}
+	return bounds[i-1]
+}
+
+// slabHi returns the high x-boundary of child i under bounds within slab.
+func slabHi(slab geom.Interval, bounds []float64, i int) float64 {
+	if i == len(bounds) {
+		return slab.Hi
+	}
+	return bounds[i]
+}
+
+// childOfPoint returns the child slab containing x: the number of bounds ≤ x.
+func childOfPoint(bounds []float64, x float64) int {
+	// sort.SearchFloat64s returns the count of bounds < x; add equals.
+	i := sort.SearchFloat64s(bounds, x)
+	for i < len(bounds) && bounds[i] == x {
+		i++
+	}
+	return i
+}
+
+// childOfSup returns the child slab containing the supremum of [_, x): the
+// number of bounds strictly below x.
+func childOfSup(bounds []float64, x float64) int {
+	return sort.SearchFloat64s(bounds, x)
+}
+
+// route performs the division phase (§5.2.1): it distributes the node's
+// piece events into len(bounds)+1 child nodes, diverting every fragment
+// that spans a whole child slab into the spanning file R′. Event order (y)
+// is preserved in every output file. It also splits the x-sorted
+// edge-value file, inserting the clipped boundary values at the splice
+// points so each child's file remains sorted.
+func (s *Solver) route(n node, bounds []float64) ([]node, *em.File, error) {
+	nc := len(bounds) + 1
+	childEvents := make([]*em.File, nc)
+	eventWriters := make([]*em.RecordWriter[rec.PieceEvent], nc)
+	counts := make([]int64, nc)
+	nLow := make([]int64, nc)  // right-fragment clips at each child's low bound
+	nHigh := make([]int64, nc) // left-fragment clips at each child's high bound
+	for i := range childEvents {
+		childEvents[i] = em.NewFile(s.env.Disk)
+		w, err := em.NewRecordWriter(childEvents[i], rec.PieceEventCodec{})
+		if err != nil {
+			return nil, nil, err
+		}
+		eventWriters[i] = w
+	}
+	spanning := em.NewFile(s.env.Disk)
+	spanWriter, err := em.NewRecordWriter(spanning, rec.PieceEventCodec{})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rr, err := em.NewRecordReader(n.events, rec.PieceEventCodec{})
+	if err != nil {
+		return nil, nil, err
+	}
+	emit := func(i int, e rec.PieceEvent, x1, x2 float64) error {
+		e.R.X1, e.R.X2 = x1, x2
+		counts[i]++
+		return eventWriters[i].Write(e)
+	}
+	for {
+		e, err := rr.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, nil, err
+		}
+		x1, x2 := e.R.X1, e.R.X2
+		i := childOfPoint(bounds, x1)
+		j := childOfSup(bounds, x2)
+		leftSpan := x1 == slabLo(n.slab, bounds, i)
+		rightSpan := x2 == slabHi(n.slab, bounds, j)
+		if i == j {
+			if leftSpan && rightSpan {
+				// The fragment coincides with a whole child slab.
+				spanEvent := e
+				spanEvent.R.X1, spanEvent.R.X2 = x1, x2
+				if err := spanWriter.Write(spanEvent); err != nil {
+					return nil, nil, err
+				}
+			} else if err := emit(i, e, x1, x2); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		spanStart, spanEnd := i, j
+		if !leftSpan {
+			if err := emit(i, e, x1, slabHi(n.slab, bounds, i)); err != nil {
+				return nil, nil, err
+			}
+			nHigh[i]++
+			spanStart = i + 1
+		}
+		if !rightSpan {
+			if err := emit(j, e, slabLo(n.slab, bounds, j), x2); err != nil {
+				return nil, nil, err
+			}
+			nLow[j]++
+			spanEnd = j - 1
+		}
+		if spanStart <= spanEnd {
+			spanEvent := e
+			spanEvent.R.X1 = slabLo(n.slab, bounds, spanStart)
+			spanEvent.R.X2 = slabHi(n.slab, bounds, spanEnd)
+			if err := spanWriter.Write(spanEvent); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	for _, w := range eventWriters {
+		if err := w.Close(); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := spanWriter.Close(); err != nil {
+		return nil, nil, err
+	}
+
+	childEdges, err := s.splitEdges(n, bounds, nLow, nHigh)
+	if err != nil {
+		return nil, nil, err
+	}
+	children := make([]node, nc)
+	for i := range children {
+		children[i] = node{
+			events: childEvents[i],
+			edges:  childEdges[i],
+			slab:   geom.Interval{Lo: slabLo(n.slab, bounds, i), Hi: slabHi(n.slab, bounds, i)},
+			count:  counts[i],
+		}
+	}
+	return children, spanning, nil
+}
+
+// splitEdges routes the parent's sorted edge values into per-child sorted
+// files: nLow[i] copies of the child's low bound, then the parent values
+// falling in the child's x-range, then nHigh[i] copies of the high bound.
+func (s *Solver) splitEdges(n node, bounds []float64, nLow, nHigh []int64) ([]*em.File, error) {
+	nc := len(bounds) + 1
+	files := make([]*em.File, nc)
+	writers := make([]*em.RecordWriter[float64], nc)
+	for i := range files {
+		files[i] = em.NewFile(s.env.Disk)
+		w, err := em.NewRecordWriter(files[i], rec.Float64Codec{})
+		if err != nil {
+			return nil, err
+		}
+		writers[i] = w
+		lo := slabLo(n.slab, bounds, i)
+		if nLow[i] > 0 && math.IsInf(lo, 0) {
+			return nil, fmt.Errorf("core: %d clips at infinite bound %g", nLow[i], lo)
+		}
+		for k := int64(0); k < nLow[i]; k++ {
+			if err := w.Write(lo); err != nil {
+				return nil, err
+			}
+		}
+	}
+	rr, err := em.NewRecordReader(n.edges, rec.Float64Codec{})
+	if err != nil {
+		return nil, err
+	}
+	for {
+		v, err := rr.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, err
+		}
+		i := childOfPoint(bounds, v)
+		if err := writers[i].Write(v); err != nil {
+			return nil, err
+		}
+	}
+	for i, w := range writers {
+		hi := slabHi(n.slab, bounds, i)
+		if nHigh[i] > 0 && math.IsInf(hi, 0) {
+			return nil, fmt.Errorf("core: %d clips at infinite bound %g", nHigh[i], hi)
+		}
+		for k := int64(0); k < nHigh[i]; k++ {
+			if err := w.Write(hi); err != nil {
+				return nil, err
+			}
+		}
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return files, nil
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"math"
+
+	"maxrs/internal/em"
+	"maxrs/internal/geom"
+	"maxrs/internal/rec"
+)
+
+// tupleSource streams one child slab file with one-record lookahead.
+type tupleSource struct {
+	rr   *em.RecordReader[rec.Tuple]
+	cur  rec.Tuple
+	done bool
+}
+
+func newTupleSource(f *em.File) (*tupleSource, error) {
+	rr, err := em.NewRecordReader(f, rec.TupleCodec{})
+	if err != nil {
+		return nil, err
+	}
+	ts := &tupleSource{rr: rr}
+	return ts, ts.advance()
+}
+
+func (ts *tupleSource) advance() error {
+	t, err := ts.rr.Read()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			ts.done = true
+			return nil
+		}
+		return err
+	}
+	ts.cur = t
+	return nil
+}
+
+// spanSource streams the spanning event file with one-record lookahead.
+type spanSource struct {
+	rr   *em.RecordReader[rec.PieceEvent]
+	cur  rec.PieceEvent
+	done bool
+}
+
+func newSpanSource(f *em.File) (*spanSource, error) {
+	rr, err := em.NewRecordReader(f, rec.PieceEventCodec{})
+	if err != nil {
+		return nil, err
+	}
+	ss := &spanSource{rr: rr}
+	return ss, ss.advance()
+}
+
+func (ss *spanSource) advance() error {
+	e, err := ss.rr.Read()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			ss.done = true
+			return nil
+		}
+		return err
+	}
+	ss.cur = e
+	return nil
+}
+
+// mergeSweep is Algorithm 1: it sweeps a horizontal line bottom-to-top
+// across the m child slab files and the spanning file, maintaining the
+// current max-interval tuple per child (tslab) and the weight of spanning
+// rectangles currently covering each child (upSum), and emits the parent's
+// slab file: at every event y, the best (possibly merged across adjacent
+// children) max-interval.
+func (s *Solver) mergeSweep(slabFiles []*em.File, spanning *em.File, bounds []float64, slab geom.Interval) (*em.File, error) {
+	nc := len(slabFiles)
+	sources := make([]*tupleSource, nc)
+	for i, f := range slabFiles {
+		ts, err := newTupleSource(f)
+		if err != nil {
+			return nil, err
+		}
+		sources[i] = ts
+	}
+	spans, err := newSpanSource(spanning)
+	if err != nil {
+		return nil, err
+	}
+
+	tslab := make([]rec.Tuple, nc)
+	upSum := make([]float64, nc)
+	for i := range tslab {
+		tslab[i] = rec.Tuple{
+			Y:  math.Inf(-1),
+			X1: slabLo(slab, bounds, i),
+			X2: slabHi(slab, bounds, i),
+		}
+	}
+
+	out := em.NewFile(s.env.Disk)
+	w, err := em.NewRecordWriter(out, rec.TupleCodec{})
+	if err != nil {
+		return nil, err
+	}
+
+	for {
+		// Next event line: the smallest unconsumed y over all sources.
+		y := math.Inf(1)
+		any := false
+		for _, ts := range sources {
+			if !ts.done && ts.cur.Y < y {
+				y = ts.cur.Y
+				any = true
+			}
+		}
+		if !spans.done && spans.cur.Y() <= y {
+			y = spans.cur.Y()
+			any = true
+		}
+		if !any {
+			break
+		}
+		// Apply every record at this h-line before emitting (tops and
+		// bottoms at equal y cancel within the line, matching the
+		// half-open semantics of the children's own sweeps).
+		for !spans.done && spans.cur.Y() == y {
+			e := spans.cur
+			a := childOfPoint(bounds, e.R.X1)
+			b := childOfSup(bounds, e.R.X2)
+			d := e.R.W
+			if e.Top {
+				d = -d
+			}
+			for j := a; j <= b && j < nc; j++ {
+				upSum[j] += d
+			}
+			if err := spans.advance(); err != nil {
+				return nil, err
+			}
+		}
+		for i, ts := range sources {
+			if !ts.done && ts.cur.Y == y {
+				tslab[i] = ts.cur
+				if err := ts.advance(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := w.Write(bestTuple(y, tslab, upSum, slab, bounds)); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// bestTuple implements lines 17–18 of Algorithm 1 plus GetMaxInterval: it
+// finds the children whose effective sum (local tuple sum + spanning
+// weight) is maximal, merges max-intervals of adjacent maximal children
+// when they touch at the shared slab boundary, and returns the longest
+// merged interval (leftmost on ties).
+func bestTuple(y float64, tslab []rec.Tuple, upSum []float64, slab geom.Interval, bounds []float64) rec.Tuple {
+	nc := len(tslab)
+	best := math.Inf(-1)
+	for i := 0; i < nc; i++ {
+		if eff := tslab[i].Sum + upSum[i]; eff > best {
+			best = eff
+		}
+	}
+	var out geom.Interval
+	haveOut := false
+	for i := 0; i < nc; {
+		if tslab[i].Sum+upSum[i] != best {
+			i++
+			continue
+		}
+		run := geom.Interval{Lo: tslab[i].X1, Hi: tslab[i].X2}
+		j := i + 1
+		for j < nc && tslab[j].Sum+upSum[j] == best &&
+			run.Hi == slabHi(slab, bounds, j-1) && tslab[j].X1 == run.Hi {
+			run.Hi = tslab[j].X2
+			j++
+		}
+		if !haveOut || run.Len() > out.Len() {
+			out = run
+			haveOut = true
+		}
+		i = j
+	}
+	return rec.Tuple{Y: y, X1: out.Lo, X2: out.Hi, Sum: best}
+}

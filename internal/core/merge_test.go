@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"maxrs/internal/em"
+	"maxrs/internal/geom"
+	"maxrs/internal/rec"
+	"maxrs/internal/sweep"
+)
+
+// handPartition splits rects at the given bounds within slab exactly like
+// the division phase, but independently (no file machinery): it returns
+// the non-spanning fragments per child and the spanning pieces.
+func handPartition(rects []rec.WRect, slab geom.Interval, bounds []float64) (children [][]rec.WRect, spanning []rec.WRect) {
+	children = make([][]rec.WRect, len(bounds)+1)
+	for _, r := range rects {
+		i := childOfPoint(bounds, r.X1)
+		j := childOfSup(bounds, r.X2)
+		leftSpan := r.X1 == slabLo(slab, bounds, i)
+		rightSpan := r.X2 == slabHi(slab, bounds, j)
+		if i == j {
+			if leftSpan && rightSpan {
+				spanning = append(spanning, r)
+			} else {
+				children[i] = append(children[i], r)
+			}
+			continue
+		}
+		spanStart, spanEnd := i, j
+		if !leftSpan {
+			lf := r
+			lf.X2 = slabHi(slab, bounds, i)
+			children[i] = append(children[i], lf)
+			spanStart = i + 1
+		}
+		if !rightSpan {
+			rf := r
+			rf.X1 = slabLo(slab, bounds, j)
+			children[j] = append(children[j], rf)
+			spanEnd = j - 1
+		}
+		if spanStart <= spanEnd {
+			sp := r
+			sp.X1 = slabLo(slab, bounds, spanStart)
+			sp.X2 = slabHi(slab, bounds, spanEnd)
+			spanning = append(spanning, sp)
+		}
+	}
+	return children, spanning
+}
+
+// runMergeSweep drives s.mergeSweep over hand-built child slab files and a
+// spanning event file, returning the merged tuples.
+func runMergeSweep(t *testing.T, s *Solver, slab geom.Interval, bounds []float64,
+	children [][]rec.WRect, spanning []rec.WRect) []rec.Tuple {
+	t.Helper()
+	slabFiles := make([]*em.File, len(children))
+	for i, frags := range children {
+		childSlab := geom.Interval{Lo: slabLo(slab, bounds, i), Hi: slabHi(slab, bounds, i)}
+		tuples := sweep.Slab(frags, childSlab)
+		f, err := em.WriteAll(s.env.Disk, rec.TupleCodec{}, tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slabFiles[i] = f
+	}
+	var spanEvents []rec.PieceEvent
+	for _, r := range spanning {
+		b, top := rec.PieceEventsOf(r)
+		spanEvents = append(spanEvents, b, top)
+	}
+	sort.SliceStable(spanEvents, func(a, b int) bool { return spanEvents[a].Y() < spanEvents[b].Y() })
+	spanFile, err := em.WriteAll(s.env.Disk, rec.PieceEventCodec{}, spanEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.mergeSweep(slabFiles, spanFile, bounds, slab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples, err := em.ReadAll(out, rec.TupleCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tuples
+}
+
+// locationWeightAt computes the brute-force location-weight at (x, y).
+func locationWeightAt(rects []rec.WRect, x, y float64) float64 {
+	var s float64
+	for _, r := range rects {
+		if x >= r.X1 && x < r.X2 && y >= r.Y1 && y < r.Y2 {
+			s += r.W
+		}
+	}
+	return s
+}
+
+// TestMergeSweepMatchesWholeSweep is the direct Algorithm 1 correctness
+// test: hand-partition random rectangles into children + spanning pieces,
+// build the child slab files with the independent in-memory sweep, merge,
+// and verify every merged tuple against the whole-space sweep.
+func TestMergeSweepMatchesWholeSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 30; trial++ {
+		env := em.MustNewEnv(256, 4096)
+		s := mustSolver(t, env, Config{})
+		slab := geom.Interval{Lo: 0, Hi: 100}
+		nb := rng.Intn(3) + 1
+		boundSet := map[float64]bool{}
+		for len(boundSet) < nb {
+			boundSet[math.Floor(rng.Float64()*80)+10] = true
+		}
+		var bounds []float64
+		for b := range boundSet {
+			bounds = append(bounds, b)
+		}
+		sort.Float64s(bounds)
+
+		n := rng.Intn(60) + 5
+		rects := make([]rec.WRect, n)
+		for i := range rects {
+			x := math.Floor(rng.Float64() * 90)
+			y := math.Floor(rng.Float64() * 90)
+			w := math.Floor(rng.Float64()*40) + 1
+			h := math.Floor(rng.Float64()*20) + 1
+			x2 := math.Min(x+w, 100)
+			rects[i] = rec.WRect{X1: x, X2: x2, Y1: y, Y2: y + h, W: float64(rng.Intn(4) + 1)}
+		}
+
+		children, spanning := handPartition(rects, slab, bounds)
+		merged := runMergeSweep(t, s, slab, bounds, children, spanning)
+		want := sweep.Slab(rects, slab)
+
+		// Every whole-space tuple must have a merged counterpart at the
+		// same y with the same max sum.
+		mergedAt := map[float64]rec.Tuple{}
+		for _, m := range merged {
+			mergedAt[m.Y] = m // last tuple at y wins; ys are distinct anyway
+		}
+		for _, wt := range want {
+			m, ok := mergedAt[wt.Y]
+			if !ok {
+				t.Fatalf("trial %d: no merged tuple at y=%g", trial, wt.Y)
+			}
+			if m.Sum != wt.Sum {
+				t.Fatalf("trial %d: at y=%g merged sum %g, want %g (bounds %v)",
+					trial, wt.Y, m.Sum, wt.Sum, bounds)
+			}
+			// The merged interval must attain the sum just above the h-line.
+			if m.X2 > m.X1 {
+				px := m.X1 + (m.X2-m.X1)/2
+				if math.IsInf(m.X1, -1) {
+					px = m.X2 - 1e-3
+				}
+				if math.IsInf(m.X2, 1) {
+					px = m.X1
+				}
+				if got := locationWeightAt(rects, px, wt.Y); got != m.Sum {
+					t.Fatalf("trial %d: merged interval [%g,%g) at y=%g attains %g, claimed %g",
+						trial, m.X1, m.X2, wt.Y, got, m.Sum)
+				}
+			}
+		}
+	}
+}
+
+// TestMergeSweepSpanningOnly exercises the degenerate division where every
+// piece spans a child (all-identical rectangles): children are empty and
+// the whole answer comes from upSum bookkeeping.
+func TestMergeSweepSpanningOnly(t *testing.T) {
+	env := em.MustNewEnv(256, 4096)
+	s := mustSolver(t, env, Config{})
+	slab := geom.Interval{Lo: 0, Hi: 100}
+	bounds := []float64{20, 80}
+	// Pieces exactly covering child 1 = [20, 80) at varying y.
+	var spanning []rec.WRect
+	for i := 0; i < 5; i++ {
+		spanning = append(spanning, rec.WRect{
+			X1: 20, X2: 80, Y1: float64(10 * i), Y2: float64(10*i + 25), W: 2,
+		})
+	}
+	children := make([][]rec.WRect, 3)
+	merged := runMergeSweep(t, s, slab, bounds, children, spanning)
+	if len(merged) == 0 {
+		t.Fatal("no merged tuples")
+	}
+	var best rec.Tuple
+	for _, m := range merged {
+		if m.Sum > best.Sum {
+			best = m
+		}
+	}
+	// At y in [20,25) three pieces overlap: sum 6.
+	if best.Sum != 6 {
+		t.Fatalf("best sum = %g, want 6", best.Sum)
+	}
+	if best.X1 != 20 || best.X2 != 80 {
+		t.Fatalf("best interval [%g,%g), want [20,80)", best.X1, best.X2)
+	}
+}
+
+// TestBestTupleMergesAdjacent checks GetMaxInterval's merge step: two
+// adjacent children at the same effective sum with touching intervals
+// produce one extended interval.
+func TestBestTupleMergesAdjacent(t *testing.T) {
+	slab := geom.Interval{Lo: 0, Hi: 100}
+	bounds := []float64{50}
+	tslab := []rec.Tuple{
+		{Y: 1, X1: 30, X2: 50, Sum: 4}, // reaches its slab's right edge
+		{Y: 1, X1: 50, X2: 70, Sum: 4}, // starts at its slab's left edge
+	}
+	upSum := []float64{0, 0}
+	got := bestTuple(5, tslab, upSum, slab, bounds)
+	if got.Sum != 4 || got.X1 != 30 || got.X2 != 70 {
+		t.Fatalf("bestTuple = %+v, want [30,70) sum 4", got)
+	}
+	// Non-touching intervals with equal sums must NOT merge; the longer
+	// run wins ([50,70) is 20 long vs [30,45) at 15).
+	tslab[0].X2 = 45
+	got = bestTuple(5, tslab, upSum, slab, bounds)
+	if got.X1 != 50 || got.X2 != 70 {
+		t.Fatalf("bestTuple = %+v, want longest [50,70)", got)
+	}
+	// Equal lengths: leftmost wins.
+	tslab[1].X2 = 65
+	got = bestTuple(5, tslab, upSum, slab, bounds)
+	if got.X1 != 30 || got.X2 != 45 {
+		t.Fatalf("bestTuple = %+v, want leftmost [30,45) on tie", got)
+	}
+	tslab[1].X2 = 70
+	// upSum shifts the effective sums: child 1 wins outright.
+	upSum[1] = 3
+	got = bestTuple(5, tslab, upSum, slab, bounds)
+	if got.Sum != 7 || got.X1 != 50 || got.X2 != 70 {
+		t.Fatalf("bestTuple = %+v, want [50,70) sum 7", got)
+	}
+}

@@ -1,0 +1,429 @@
+package crs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"maxrs/internal/core"
+	"maxrs/internal/em"
+	"maxrs/internal/geom"
+	"maxrs/internal/rec"
+)
+
+func writeObjs(t *testing.T, env em.Env, objs []geom.Object) *em.File {
+	t.Helper()
+	recs := make([]rec.Object, len(objs))
+	for i, o := range objs {
+		recs[i] = rec.FromGeom(o)
+	}
+	f, err := em.WriteAll(env.Disk, rec.ObjectCodec{}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func solver(t *testing.T, env em.Env) *core.Solver {
+	t.Helper()
+	s, err := core.NewSolver(env, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSigmaInLegalRange(t *testing.T) {
+	for _, d := range []float64{0.5, 1, 10, 1000, 1e6} {
+		s := Sigma(d)
+		lo := (math.Sqrt2 - 1) * d / 2
+		hi := d / 2
+		if !(s > lo && s < hi) {
+			t.Fatalf("d=%g: σ=%g outside (%g, %g)", d, s, lo, hi)
+		}
+	}
+}
+
+// Lemma 5: the four shifted circles jointly cover the MBR of the circle
+// at p0. Verified by dense sampling.
+func TestShiftedCirclesCoverMBR(t *testing.T) {
+	const d = 10.0
+	p0 := geom.Point{X: 3, Y: -7}
+	shifted := ShiftedPoints(p0, d)
+	mbr := geom.Circle{C: p0, Diameter: d}.MBR()
+	for i := 0; i <= 100; i++ {
+		for j := 0; j <= 100; j++ {
+			p := geom.Point{
+				X: mbr.X.Lo + (mbr.X.Hi-mbr.X.Lo)*float64(i)/100,
+				Y: mbr.Y.Lo + (mbr.Y.Hi-mbr.Y.Lo)*float64(j)/100,
+			}
+			if !mbr.Contains(p) {
+				continue
+			}
+			covered := false
+			for _, c := range shifted {
+				if (geom.Circle{C: c, Diameter: d}).Contains(p) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("point %v in MBR not covered by any shifted circle", p)
+			}
+		}
+	}
+}
+
+func TestCircleIntersections(t *testing.T) {
+	a := geom.Point{X: 0, Y: 0}
+	b := geom.Point{X: 2, Y: 0}
+	p1, p2, ok := circleIntersections(a, b, math.Sqrt2)
+	if !ok {
+		t.Fatal("circles should intersect")
+	}
+	for _, p := range []geom.Point{p1, p2} {
+		if math.Abs(p.X-1) > 1e-12 || math.Abs(math.Abs(p.Y)-1) > 1e-12 {
+			t.Fatalf("intersection %v, want (1, ±1)", p)
+		}
+	}
+	if _, _, ok := circleIntersections(a, geom.Point{X: 10, Y: 0}, 1); ok {
+		t.Fatal("distant circles must not intersect")
+	}
+	if _, _, ok := circleIntersections(a, a, 1); ok {
+		t.Fatal("coincident centers must not intersect")
+	}
+}
+
+func TestExactSimpleCluster(t *testing.T) {
+	// Three points pairwise within d=4 of a common center.
+	objs := []geom.Object{
+		{Point: geom.Point{X: 0, Y: 0}, W: 1},
+		{Point: geom.Point{X: 1, Y: 0}, W: 1},
+		{Point: geom.Point{X: 0, Y: 1}, W: 1},
+		{Point: geom.Point{X: 100, Y: 100}, W: 1},
+	}
+	res := Exact(objs, 4)
+	if res.Weight != 3 {
+		t.Fatalf("weight = %g, want 3", res.Weight)
+	}
+	if got := geom.WeightInCircle(objs, res.Center, 4); got != 3 {
+		t.Fatalf("center covers %g, claimed 3", got)
+	}
+}
+
+func TestExactSingleAndEmpty(t *testing.T) {
+	if res := Exact(nil, 5); res.Weight != 0 {
+		t.Fatalf("empty: %g", res.Weight)
+	}
+	objs := []geom.Object{{Point: geom.Point{X: 2, Y: 3}, W: 7}}
+	res := Exact(objs, 5)
+	if res.Weight != 7 {
+		t.Fatalf("single: weight %g, want 7", res.Weight)
+	}
+	if res := Exact(objs, 0); res.Weight != 0 {
+		t.Fatalf("zero diameter: %g", res.Weight)
+	}
+}
+
+func TestExactTwoFarPoints(t *testing.T) {
+	// Two points farther than d apart: best is one of them.
+	objs := []geom.Object{
+		{Point: geom.Point{X: 0, Y: 0}, W: 2},
+		{Point: geom.Point{X: 50, Y: 0}, W: 3},
+	}
+	res := Exact(objs, 10)
+	if res.Weight != 3 {
+		t.Fatalf("weight = %g, want 3", res.Weight)
+	}
+}
+
+func TestExactLensPlacement(t *testing.T) {
+	// Two points at distance 1.8 with d=2: circles of radius 1 around each
+	// intersect; a point in the lens covers both.
+	objs := []geom.Object{
+		{Point: geom.Point{X: 0, Y: 0}, W: 1},
+		{Point: geom.Point{X: 1.8, Y: 0}, W: 1},
+	}
+	res := Exact(objs, 2)
+	if res.Weight != 2 {
+		t.Fatalf("weight = %g, want 2", res.Weight)
+	}
+	if got := geom.WeightInCircle(objs, res.Center, 2); got != 2 {
+		t.Fatalf("center covers %g", got)
+	}
+}
+
+// Exact must dominate dense sampling (it is a maximum) and be attained by
+// its own reported center.
+func TestExactAgainstSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(40) + 2
+		objs := make([]geom.Object, n)
+		for i := range objs {
+			objs[i] = geom.Object{
+				Point: geom.Point{X: rng.Float64() * 30, Y: rng.Float64() * 30},
+				W:     float64(rng.Intn(4) + 1),
+			}
+		}
+		d := rng.Float64()*8 + 2
+		res := Exact(objs, d)
+		if got := geom.WeightInCircle(objs, res.Center, d); got != res.Weight {
+			t.Fatalf("trial %d: center attains %g, claimed %g", trial, got, res.Weight)
+		}
+		// Dense sampling lower bound.
+		var sampled float64
+		for i := 0; i < 60; i++ {
+			for j := 0; j < 60; j++ {
+				p := geom.Point{X: float64(i) / 2, Y: float64(j) / 2}
+				if w := geom.WeightInCircle(objs, p, d); w > sampled {
+					sampled = w
+				}
+			}
+		}
+		if res.Weight < sampled {
+			t.Fatalf("trial %d: exact %g < sampled %g (d=%g)", trial, res.Weight, sampled, d)
+		}
+	}
+}
+
+func TestApproxBasic(t *testing.T) {
+	env := em.MustNewEnv(256, 4096)
+	objs := []geom.Object{
+		{Point: geom.Point{X: 10, Y: 10}, W: 1},
+		{Point: geom.Point{X: 11, Y: 10}, W: 1},
+		{Point: geom.Point{X: 10, Y: 11}, W: 1},
+		{Point: geom.Point{X: 60, Y: 60}, W: 1},
+	}
+	f := writeObjs(t, env, objs)
+	res, err := Approx(solver(t, env), f, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight < 3 {
+		t.Fatalf("approx weight = %g, want 3 (cluster coverable by d=6)", res.Weight)
+	}
+	if got := geom.WeightInCircle(objs, res.Center, 6); got != res.Weight {
+		t.Fatalf("center covers %g, claimed %g", got, res.Weight)
+	}
+}
+
+func TestApproxValidation(t *testing.T) {
+	env := em.MustNewEnv(256, 4096)
+	f := writeObjs(t, env, nil)
+	if _, err := Approx(solver(t, env), f, -1); err == nil {
+		t.Fatal("negative diameter must fail")
+	}
+	res, err := Approx(solver(t, env), f, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight != 0 {
+		t.Fatalf("empty input weight = %g", res.Weight)
+	}
+}
+
+// Theorem 3: Approx ≥ Exact/4, always. Also Approx ≤ Exact (it is a
+// feasible solution).
+func TestApproxBoundHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		env := em.MustNewEnv(128, 1024) // force recursion in the MaxRS step
+		n := rng.Intn(150) + 5
+		objs := make([]geom.Object, n)
+		for i := range objs {
+			objs[i] = geom.Object{
+				Point: geom.Point{
+					X: math.Floor(rng.Float64() * 200),
+					Y: math.Floor(rng.Float64() * 200),
+				},
+				W: float64(rng.Intn(3) + 1),
+			}
+		}
+		d := math.Floor(rng.Float64()*30) + 4
+		f := writeObjs(t, env, objs)
+		approx, err := Approx(solver(t, env), f, d)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		exact := Exact(objs, d)
+		if approx.Weight > exact.Weight {
+			t.Fatalf("trial %d (d=%g): approx %g exceeds exact %g",
+				trial, d, approx.Weight, exact.Weight)
+		}
+		if 4*approx.Weight < exact.Weight {
+			t.Fatalf("trial %d (d=%g): approx %g violates 1/4 bound of exact %g",
+				trial, d, approx.Weight, exact.Weight)
+		}
+	}
+}
+
+// The paper's Theorem 4 worst case: a cross of circles where the MaxRS
+// max-region centers on an empty spot. ApproxMaxCRS must still achieve ≥
+// 1/4 — here exactly 1 of 4.
+func TestApproxWorstCaseShape(t *testing.T) {
+	env := em.MustNewEnv(256, 8192)
+	// Four unit-weight objects arranged so their d×d MBRs share a common
+	// intersection centered between them but their circles do not.
+	const d = 10.0
+	objs := []geom.Object{
+		{Point: geom.Point{X: -4.9, Y: -4.9}, W: 1},
+		{Point: geom.Point{X: 4.9, Y: -4.9}, W: 1},
+		{Point: geom.Point{X: -4.9, Y: 4.9}, W: 1},
+		{Point: geom.Point{X: 4.9, Y: 4.9}, W: 1},
+	}
+	f := writeObjs(t, env, objs)
+	approx, err := Approx(solver(t, env), f, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := Exact(objs, d)
+	if 4*approx.Weight < exact.Weight {
+		t.Fatalf("1/4 bound violated: approx %g, exact %g", approx.Weight, exact.Weight)
+	}
+	if approx.Weight < 1 {
+		t.Fatalf("approx weight %g, want ≥ 1", approx.Weight)
+	}
+}
+
+// Property: Exact is invariant under translation and uniform scaling, and
+// monotone in the diameter (for non-negative weights).
+func TestExactInvariances(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(30) + 2
+		objs := make([]geom.Object, n)
+		for i := range objs {
+			objs[i] = geom.Object{
+				Point: geom.Point{X: rng.Float64() * 40, Y: rng.Float64() * 40},
+				W:     float64(rng.Intn(5) + 1),
+			}
+		}
+		d := rng.Float64()*10 + 2
+		base := Exact(objs, d)
+
+		// Translation.
+		dx, dy := rng.Float64()*100-50, rng.Float64()*100-50
+		moved := make([]geom.Object, n)
+		for i, o := range objs {
+			moved[i] = geom.Object{Point: o.Point.Add(dx, dy), W: o.W}
+		}
+		if got := Exact(moved, d); got.Weight != base.Weight {
+			t.Fatalf("trial %d: translation changed weight %g → %g", trial, base.Weight, got.Weight)
+		}
+
+		// Uniform scaling by 2.
+		scaled := make([]geom.Object, n)
+		for i, o := range objs {
+			scaled[i] = geom.Object{Point: geom.Point{X: 2 * o.X, Y: 2 * o.Y}, W: o.W}
+		}
+		if got := Exact(scaled, 2*d); got.Weight != base.Weight {
+			t.Fatalf("trial %d: scaling changed weight %g → %g", trial, base.Weight, got.Weight)
+		}
+
+		// Monotone in d.
+		if got := Exact(objs, d*1.5); got.Weight < base.Weight {
+			t.Fatalf("trial %d: larger diameter decreased weight %g → %g", trial, base.Weight, got.Weight)
+		}
+	}
+}
+
+// Property: Exact is bounded by the total weight, reaches it when the
+// diameter dwarfs the point spread, and never falls below the heaviest
+// single object.
+func TestExactBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(25) + 1
+		var total, heaviest float64
+		objs := make([]geom.Object, n)
+		for i := range objs {
+			w := float64(rng.Intn(9) + 1)
+			objs[i] = geom.Object{
+				Point: geom.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20},
+				W:     w,
+			}
+			total += w
+			if w > heaviest {
+				heaviest = w
+			}
+		}
+		d := rng.Float64()*15 + 1
+		res := Exact(objs, d)
+		if res.Weight > total {
+			t.Fatalf("trial %d: weight %g exceeds total %g", trial, res.Weight, total)
+		}
+		if res.Weight < heaviest {
+			t.Fatalf("trial %d: weight %g below heaviest object %g", trial, res.Weight, heaviest)
+		}
+		if big := Exact(objs, 1000); big.Weight != total {
+			t.Fatalf("trial %d: huge diameter covers %g, want all %g", trial, big.Weight, total)
+		}
+	}
+}
+
+func TestGridCRSResolutionGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 15; trial++ {
+		n := rng.Intn(30) + 2
+		objs := make([]geom.Object, n)
+		for i := range objs {
+			objs[i] = geom.Object{
+				Point: geom.Point{X: rng.Float64() * 30, Y: rng.Float64() * 30},
+				W:     float64(rng.Intn(4) + 1),
+			}
+		}
+		d := rng.Float64()*8 + 3
+		delta := d / 20
+		got := GridCRS(objs, d, delta)
+		// Feasibility: the reported center attains the reported weight.
+		if w := geom.WeightInCircle(objs, got.Center, d); w != got.Weight {
+			t.Fatalf("trial %d: center attains %g, claimed %g", trial, w, got.Weight)
+		}
+		// Never above the true optimum.
+		exact := Exact(objs, d)
+		if got.Weight > exact.Weight {
+			t.Fatalf("trial %d: grid %g exceeds exact %g", trial, got.Weight, exact.Weight)
+		}
+		// Resolution bound: at least the optimum of the shrunken circle.
+		shrunk := Exact(objs, d-delta*math.Sqrt2)
+		if got.Weight < shrunk.Weight {
+			t.Fatalf("trial %d: grid %g below shrunken-circle optimum %g (d=%g δ=%g)",
+				trial, got.Weight, shrunk.Weight, d, delta)
+		}
+	}
+}
+
+func TestGridCRSDegenerate(t *testing.T) {
+	if res := GridCRS(nil, 5, 1); res.Weight != 0 {
+		t.Fatalf("empty: %g", res.Weight)
+	}
+	objs := []geom.Object{{Point: geom.Point{X: 3, Y: 3}, W: 2}}
+	if res := GridCRS(objs, 0, 1); res.Weight != 0 {
+		t.Fatalf("zero diameter: %g", res.Weight)
+	}
+	if res := GridCRS(objs, 5, 0); res.Weight != 0 {
+		t.Fatalf("zero delta: %g", res.Weight)
+	}
+	res := GridCRS(objs, 5, 0.5)
+	if res.Weight != 2 {
+		t.Fatalf("single object: weight %g, want 2", res.Weight)
+	}
+}
+
+func TestGridCRSFinerGridNotWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	objs := make([]geom.Object, 25)
+	for i := range objs {
+		objs[i] = geom.Object{
+			Point: geom.Point{X: rng.Float64() * 20, Y: rng.Float64() * 20},
+			W:     1,
+		}
+	}
+	const d = 6.0
+	coarse := GridCRS(objs, d, d/4)
+	fine := GridCRS(objs, d, d/32)
+	if fine.Weight < coarse.Weight {
+		t.Fatalf("finer grid got worse: %g < %g", fine.Weight, coarse.Weight)
+	}
+}

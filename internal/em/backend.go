@@ -1,0 +1,115 @@
+package em
+
+import (
+	"fmt"
+	"os"
+)
+
+// backend is the physical storage under a Disk. The default is in-process
+// memory (fast, hermetic — the transfer counters are the measurement, per
+// §7.1); a file backend stores blocks in a real OS file so the simulator
+// can also run genuinely out of core.
+type backend interface {
+	read(id BlockID, dst []byte) error
+	write(id BlockID, src []byte) error
+	// grow ensures capacity for block id.
+	grow(id BlockID) error
+	// Close releases backend resources.
+	Close() error
+}
+
+// memBackend keeps blocks in process memory.
+type memBackend struct {
+	blockSize int
+	blocks    [][]byte
+}
+
+func (m *memBackend) grow(id BlockID) error {
+	for int(id) >= len(m.blocks) {
+		m.blocks = append(m.blocks, nil)
+	}
+	if m.blocks[id] == nil {
+		m.blocks[id] = make([]byte, m.blockSize)
+	} else {
+		clear(m.blocks[id])
+	}
+	return nil
+}
+
+func (m *memBackend) read(id BlockID, dst []byte) error {
+	copy(dst, m.blocks[id])
+	return nil
+}
+
+func (m *memBackend) write(id BlockID, src []byte) error {
+	b := m.blocks[id]
+	copy(b, src)
+	for i := len(src); i < len(b); i++ {
+		b[i] = 0
+	}
+	return nil
+}
+
+func (m *memBackend) Close() error {
+	m.blocks = nil
+	return nil
+}
+
+// fileBackend stores blocks at offset id·blockSize in an OS file.
+type fileBackend struct {
+	blockSize int
+	f         *os.File
+	zero      []byte
+}
+
+func (fb *fileBackend) grow(id BlockID) error {
+	// Zero the (possibly reused) block region.
+	return fb.write(id, nil)
+}
+
+func (fb *fileBackend) read(id BlockID, dst []byte) error {
+	_, err := fb.f.ReadAt(dst[:fb.blockSize], int64(id)*int64(fb.blockSize))
+	return err
+}
+
+func (fb *fileBackend) write(id BlockID, src []byte) error {
+	buf := fb.zero
+	if len(src) > 0 {
+		copy(buf, src)
+		for i := len(src); i < len(buf); i++ {
+			buf[i] = 0
+		}
+	} else {
+		for i := range buf {
+			buf[i] = 0
+		}
+	}
+	_, err := fb.f.WriteAt(buf, int64(id)*int64(fb.blockSize))
+	return err
+}
+
+func (fb *fileBackend) Close() error {
+	name := fb.f.Name()
+	if err := fb.f.Close(); err != nil {
+		return err
+	}
+	return os.Remove(name)
+}
+
+// NewFileBackedDisk returns a Disk whose blocks live in a temporary file
+// under dir ("" = the OS temp directory). The transfer counters behave
+// identically to the in-memory disk; only the storage medium differs.
+// Call Close when done to remove the backing file.
+func NewFileBackedDisk(dir string, blockSize int) (*Disk, error) {
+	if blockSize <= 0 {
+		return nil, ErrBlockSize
+	}
+	f, err := os.CreateTemp(dir, "maxrs-disk-*.dat")
+	if err != nil {
+		return nil, fmt.Errorf("em: backing file: %w", err)
+	}
+	return &Disk{
+		blockSize: blockSize,
+		backend:   &fileBackend{blockSize: blockSize, f: f, zero: make([]byte, blockSize)},
+	}, nil
+}

@@ -1,0 +1,233 @@
+// Package em simulates the standard external-memory (EM) model of
+// Aggarwal–Vitter as used by the paper (§2): a disk organized in blocks of B
+// bytes, a main memory of M bytes (M ≥ 2B), and a cost measure equal to the
+// number of blocks transferred between disk and memory.
+//
+// The paper evaluates every algorithm by this transfer count ("We do not
+// consider CPU time, since it is dominated by I/O cost", §7.1), so the
+// simulator *is* the measurement instrument: every block read or written
+// through a Disk is tallied in its Stats. Blocks live in process memory by
+// default (hermetic, fast tests) or in a real OS file via
+// NewFileBackedDisk; either way algorithms may only touch data in whole
+// blocks through the APIs here and must bound their private state by Env.M.
+package em
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Common configuration errors.
+var (
+	ErrBlockSize   = errors.New("em: block size must be positive")
+	ErrMemorySize  = errors.New("em: memory must hold at least two blocks (M ≥ 2B)")
+	ErrBadBlock    = errors.New("em: block id out of range")
+	ErrFreedBlock  = errors.New("em: access to freed block")
+	ErrClosed      = errors.New("em: stream is closed")
+	ErrRecordSize  = errors.New("em: record size must be positive and ≤ block size")
+	ErrWriteSealed = errors.New("em: file already sealed for reading")
+)
+
+// Stats counts block transfers. Reads + Writes is the paper's "I/O cost".
+type Stats struct {
+	Reads  uint64 // blocks transferred disk → memory
+	Writes uint64 // blocks transferred memory → disk
+}
+
+// Total returns Reads + Writes.
+func (s Stats) Total() uint64 { return s.Reads + s.Writes }
+
+// Sub returns the per-phase delta s − earlier.
+func (s Stats) Sub(earlier Stats) Stats {
+	return Stats{Reads: s.Reads - earlier.Reads, Writes: s.Writes - earlier.Writes}
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d total=%d", s.Reads, s.Writes, s.Total())
+}
+
+// BlockID identifies an allocated disk block.
+type BlockID int64
+
+// Disk is a simulated block device. The zero value is unusable; construct
+// with NewDisk or NewFileBackedDisk. Disk is not safe for concurrent use:
+// the EM model is sequential, and so are all algorithms in this repository.
+type Disk struct {
+	blockSize int
+	backend   backend
+	live      []bool
+	freeList  []BlockID
+	stats     Stats
+}
+
+// NewDisk returns an in-memory Disk with the given block size in bytes.
+func NewDisk(blockSize int) (*Disk, error) {
+	if blockSize <= 0 {
+		return nil, ErrBlockSize
+	}
+	return &Disk{
+		blockSize: blockSize,
+		backend:   &memBackend{blockSize: blockSize},
+	}, nil
+}
+
+// MustNewDisk is NewDisk for static configurations; it panics on error.
+func MustNewDisk(blockSize int) *Disk {
+	d, err := NewDisk(blockSize)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// BlockSize returns B in bytes.
+func (d *Disk) BlockSize() int { return d.blockSize }
+
+// Stats returns the transfer counters accumulated so far.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the transfer counters (e.g. to exclude data generation
+// from a measured phase).
+func (d *Disk) ResetStats() { d.stats = Stats{} }
+
+// Close releases backend resources (removes the backing file of a
+// file-backed disk). The disk must not be used afterwards.
+func (d *Disk) Close() error {
+	d.live = nil
+	d.freeList = nil
+	return d.backend.Close()
+}
+
+// Alloc reserves a zeroed block and returns its id. Allocation itself is
+// free; the transfer is charged when the block is read or written.
+func (d *Disk) Alloc() BlockID {
+	var id BlockID
+	if n := len(d.freeList); n > 0 {
+		id = d.freeList[n-1]
+		d.freeList = d.freeList[:n-1]
+	} else {
+		id = BlockID(len(d.live))
+		d.live = append(d.live, false)
+	}
+	if err := d.backend.grow(id); err != nil {
+		// Growth failures (disk full) surface on the next access; a full
+		// alloc-with-error API would complicate every caller for a case
+		// the in-memory backend cannot hit.
+		panic(fmt.Sprintf("em: backend grow: %v", err))
+	}
+	d.live[id] = true
+	return id
+}
+
+// Free releases a block. Freeing is free of transfer cost.
+func (d *Disk) Free(id BlockID) error {
+	if err := d.check(id); err != nil {
+		return err
+	}
+	d.live[id] = false
+	d.freeList = append(d.freeList, id)
+	if m, ok := d.backend.(*memBackend); ok {
+		m.blocks[id] = nil // let large intermediates be collected
+	}
+	return nil
+}
+
+// ReadBlock copies block id into dst (len(dst) must be ≥ BlockSize) and
+// charges one read transfer.
+func (d *Disk) ReadBlock(id BlockID, dst []byte) error {
+	if err := d.check(id); err != nil {
+		return err
+	}
+	if len(dst) < d.blockSize {
+		return fmt.Errorf("em: read buffer %d < block size %d", len(dst), d.blockSize)
+	}
+	if err := d.backend.read(id, dst); err != nil {
+		return err
+	}
+	d.stats.Reads++
+	return nil
+}
+
+// WriteBlock copies src (at most BlockSize bytes) into block id and charges
+// one write transfer.
+func (d *Disk) WriteBlock(id BlockID, src []byte) error {
+	if err := d.check(id); err != nil {
+		return err
+	}
+	if len(src) > d.blockSize {
+		return fmt.Errorf("em: write of %d bytes exceeds block size %d", len(src), d.blockSize)
+	}
+	if err := d.backend.write(id, src); err != nil {
+		return err
+	}
+	d.stats.Writes++
+	return nil
+}
+
+// InUse returns the number of live (allocated, unfreed) blocks — useful for
+// leak checks in tests.
+func (d *Disk) InUse() int {
+	n := 0
+	for _, alive := range d.live {
+		if alive {
+			n++
+		}
+	}
+	return n
+}
+
+func (d *Disk) check(id BlockID) error {
+	if id < 0 || int(id) >= len(d.live) {
+		return fmt.Errorf("%w: %d", ErrBadBlock, id)
+	}
+	if !d.live[id] {
+		return fmt.Errorf("%w: %d", ErrFreedBlock, id)
+	}
+	return nil
+}
+
+// Env bundles the EM model parameters an algorithm runs under.
+type Env struct {
+	Disk *Disk
+	M    int // main-memory budget in bytes
+}
+
+// NewEnv validates and returns an Env with block size B and memory M, both
+// in bytes.
+func NewEnv(blockSize, memory int) (Env, error) {
+	d, err := NewDisk(blockSize)
+	if err != nil {
+		return Env{}, err
+	}
+	if memory < 2*blockSize {
+		return Env{}, ErrMemorySize
+	}
+	return Env{Disk: d, M: memory}, nil
+}
+
+// MustNewEnv is NewEnv for static configurations; it panics on error.
+func MustNewEnv(blockSize, memory int) Env {
+	e, err := NewEnv(blockSize, memory)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// B returns the block size in bytes.
+func (e Env) B() int { return e.Disk.BlockSize() }
+
+// MemBlocks returns M/B, the number of blocks that fit in memory.
+func (e Env) MemBlocks() int { return e.M / e.B() }
+
+// Validate reports configuration errors (nil Disk, M < 2B).
+func (e Env) Validate() error {
+	if e.Disk == nil {
+		return errors.New("em: Env.Disk is nil")
+	}
+	if e.M < 2*e.B() {
+		return ErrMemorySize
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package em
+
+import (
+	"fmt"
+	"io"
+)
+
+// File is a sequence of fixed-size blocks on a Disk holding a byte stream.
+// Files are written once through a Writer and then read any number of times
+// through Readers; this write-once discipline matches every use in the
+// distribution-sweep algorithm (runs, slab files, spanning files).
+type File struct {
+	disk   *Disk
+	blocks []BlockID
+	size   int64 // logical length in bytes
+}
+
+// NewFile returns an empty file on d.
+func NewFile(d *Disk) *File { return &File{disk: d} }
+
+// Size returns the logical length in bytes.
+func (f *File) Size() int64 { return f.size }
+
+// Blocks returns the number of disk blocks the file occupies.
+func (f *File) Blocks() int { return len(f.blocks) }
+
+// Disk returns the device the file lives on.
+func (f *File) Disk() *Disk { return f.disk }
+
+// Release frees every block of the file. The file becomes empty and may be
+// rewritten. Intermediate files (sort runs, per-level slab files) must be
+// released promptly or large experiments exhaust process memory.
+func (f *File) Release() error {
+	for _, id := range f.blocks {
+		if err := f.disk.Free(id); err != nil {
+			return err
+		}
+	}
+	f.blocks = nil
+	f.size = 0
+	return nil
+}
+
+// Writer appends bytes to a File through a single in-memory block buffer
+// (one block of the writer's memory budget). Every filled block costs one
+// write transfer; Close flushes the final partial block.
+type Writer struct {
+	file   *File
+	buf    []byte
+	n      int // bytes buffered
+	closed bool
+}
+
+// NewWriter returns a Writer appending to f. f must be empty or previously
+// written and not yet sealed; appending after readers exist is a logic error
+// the caller must avoid (write-once discipline).
+func (f *File) NewWriter() *Writer {
+	return &Writer{file: f, buf: make([]byte, f.disk.blockSize)}
+}
+
+// Write buffers p, flushing full blocks to disk. It never fails short.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, ErrClosed
+	}
+	total := len(p)
+	for len(p) > 0 {
+		c := copy(w.buf[w.n:], p)
+		w.n += c
+		p = p[c:]
+		if w.n == len(w.buf) {
+			if err := w.flush(); err != nil {
+				return total - len(p), err
+			}
+		}
+	}
+	return total, nil
+}
+
+func (w *Writer) flush() error {
+	if w.n == 0 {
+		return nil
+	}
+	id := w.file.disk.Alloc()
+	if err := w.file.disk.WriteBlock(id, w.buf[:w.n]); err != nil {
+		return err
+	}
+	w.file.blocks = append(w.file.blocks, id)
+	w.file.size += int64(w.n)
+	w.n = 0
+	return nil
+}
+
+// Close flushes the final partial block. Further writes fail with ErrClosed.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.flush()
+}
+
+// Reader streams a File sequentially through a single in-memory block
+// buffer. Every block fetched costs one read transfer.
+type Reader struct {
+	file  *File
+	buf   []byte
+	next  int // next block index to fetch
+	avail []byte
+	off   int64 // bytes consumed so far
+}
+
+// NewReader returns a Reader positioned at the start of f.
+func (f *File) NewReader() *Reader {
+	return &Reader{file: f, buf: make([]byte, f.disk.blockSize)}
+}
+
+// Read fills p from the stream, returning io.EOF at end of file.
+func (r *Reader) Read(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		if len(r.avail) == 0 {
+			if err := r.fill(); err != nil {
+				if total > 0 && err == io.EOF {
+					return total, nil
+				}
+				return total, err
+			}
+		}
+		c := copy(p, r.avail)
+		r.avail = r.avail[c:]
+		p = p[c:]
+		total += c
+		r.off += int64(c)
+	}
+	return total, nil
+}
+
+func (r *Reader) fill() error {
+	if r.next >= len(r.file.blocks) {
+		return io.EOF
+	}
+	if err := r.file.disk.ReadBlock(r.file.blocks[r.next], r.buf); err != nil {
+		return err
+	}
+	// The final block may be partial.
+	n := int64(r.file.disk.blockSize)
+	if rem := r.file.size - int64(r.next)*n; rem < n {
+		r.avail = r.buf[:rem]
+	} else {
+		r.avail = r.buf[:n]
+	}
+	r.next++
+	return nil
+}
+
+// Offset returns the number of bytes consumed so far.
+func (r *Reader) Offset() int64 { return r.off }
+
+// Codec serializes records of type T at a fixed byte size. Implementations
+// must be stateless.
+type Codec[T any] interface {
+	Size() int
+	Encode(dst []byte, v T)
+	Decode(src []byte) T
+}
+
+// RecordWriter writes fixed-size records of type T to a File.
+type RecordWriter[T any] struct {
+	w     *Writer
+	codec Codec[T]
+	buf   []byte
+	count int64
+}
+
+// NewRecordWriter returns a RecordWriter appending to f with codec c.
+func NewRecordWriter[T any](f *File, c Codec[T]) (*RecordWriter[T], error) {
+	if c.Size() <= 0 || c.Size() > f.disk.blockSize {
+		return nil, fmt.Errorf("%w: record %dB, block %dB", ErrRecordSize, c.Size(), f.disk.blockSize)
+	}
+	return &RecordWriter[T]{w: f.NewWriter(), codec: c, buf: make([]byte, c.Size())}, nil
+}
+
+// Write appends one record.
+func (rw *RecordWriter[T]) Write(v T) error {
+	rw.codec.Encode(rw.buf, v)
+	if _, err := rw.w.Write(rw.buf); err != nil {
+		return err
+	}
+	rw.count++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (rw *RecordWriter[T]) Count() int64 { return rw.count }
+
+// Close flushes the final partial block.
+func (rw *RecordWriter[T]) Close() error { return rw.w.Close() }
+
+// RecordReader streams fixed-size records of type T from a File.
+type RecordReader[T any] struct {
+	r     *Reader
+	codec Codec[T]
+	buf   []byte
+}
+
+// NewRecordReader returns a reader positioned at the first record of f.
+func NewRecordReader[T any](f *File, c Codec[T]) (*RecordReader[T], error) {
+	if c.Size() <= 0 || c.Size() > f.disk.blockSize {
+		return nil, fmt.Errorf("%w: record %dB, block %dB", ErrRecordSize, c.Size(), f.disk.blockSize)
+	}
+	return &RecordReader[T]{r: f.NewReader(), codec: c, buf: make([]byte, c.Size())}, nil
+}
+
+// Read returns the next record, or io.EOF after the last one.
+func (rr *RecordReader[T]) Read() (T, error) {
+	var zero T
+	n, err := rr.r.Read(rr.buf)
+	if err != nil {
+		return zero, err
+	}
+	if n != len(rr.buf) {
+		return zero, fmt.Errorf("em: truncated record: got %d of %d bytes", n, len(rr.buf))
+	}
+	return rr.codec.Decode(rr.buf), nil
+}
+
+// RecordCount returns how many records of size recSize fit in f.
+func RecordCount(f *File, recSize int) int64 {
+	if recSize <= 0 {
+		return 0
+	}
+	return f.Size() / int64(recSize)
+}
+
+// WriteAll writes every record of vs to a fresh file on d and returns it.
+// Convenience for tests and data loading.
+func WriteAll[T any](d *Disk, c Codec[T], vs []T) (*File, error) {
+	f := NewFile(d)
+	w, err := NewRecordWriter(f, c)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range vs {
+		if err := w.Write(v); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ReadAll materializes every record of f. Only for tests and small files —
+// production code streams.
+func ReadAll[T any](f *File, c Codec[T]) ([]T, error) {
+	rr, err := NewRecordReader(f, c)
+	if err != nil {
+		return nil, err
+	}
+	var out []T
+	for {
+		v, err := rr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+}

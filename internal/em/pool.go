@@ -1,0 +1,126 @@
+package em
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// BufferPool is an LRU page cache over a Disk, used by algorithms with
+// random block access (the aSB-Tree baseline). Hits are free; misses cost
+// one read transfer; evicting a dirty frame costs one write transfer. The
+// pool's capacity in frames is the algorithm's M/B memory budget, which is
+// what makes the paper's buffer-size experiments (Figs. 13 and 15)
+// meaningful for the baselines.
+type BufferPool struct {
+	disk   *Disk
+	frames int
+	lru    *list.List // front = most recently used; values are *frame
+	byID   map[BlockID]*list.Element
+
+	hits, misses uint64
+}
+
+type frame struct {
+	id    BlockID
+	data  []byte
+	dirty bool
+}
+
+// NewBufferPool returns a pool of the given number of frames (≥ 1).
+func NewBufferPool(d *Disk, frames int) (*BufferPool, error) {
+	if frames < 1 {
+		return nil, fmt.Errorf("em: buffer pool needs ≥ 1 frame, got %d", frames)
+	}
+	return &BufferPool{
+		disk:   d,
+		frames: frames,
+		lru:    list.New(),
+		byID:   make(map[BlockID]*list.Element),
+	}, nil
+}
+
+// Frames returns the pool capacity.
+func (p *BufferPool) Frames() int { return p.frames }
+
+// HitRate returns cache hits and misses since creation.
+func (p *BufferPool) HitRate() (hits, misses uint64) { return p.hits, p.misses }
+
+// Get returns the cached contents of block id, fetching it on a miss. The
+// returned slice aliases the frame: it is valid until the next pool call and
+// must be followed by MarkDirty if modified.
+func (p *BufferPool) Get(id BlockID) ([]byte, error) {
+	if el, ok := p.byID[id]; ok {
+		p.hits++
+		p.lru.MoveToFront(el)
+		return el.Value.(*frame).data, nil
+	}
+	p.misses++
+	fr := &frame{id: id, data: make([]byte, p.disk.blockSize)}
+	if err := p.disk.ReadBlock(id, fr.data); err != nil {
+		return nil, err
+	}
+	if err := p.insert(fr); err != nil {
+		return nil, err
+	}
+	return fr.data, nil
+}
+
+// GetNew installs a fresh zeroed frame for a block just allocated with
+// Disk.Alloc, without charging a read (there is nothing to fetch).
+func (p *BufferPool) GetNew(id BlockID) ([]byte, error) {
+	if _, ok := p.byID[id]; ok {
+		return nil, fmt.Errorf("em: GetNew of cached block %d", id)
+	}
+	fr := &frame{id: id, data: make([]byte, p.disk.blockSize), dirty: true}
+	if err := p.insert(fr); err != nil {
+		return nil, err
+	}
+	return fr.data, nil
+}
+
+func (p *BufferPool) insert(fr *frame) error {
+	for p.lru.Len() >= p.frames {
+		if err := p.evict(); err != nil {
+			return err
+		}
+	}
+	p.byID[fr.id] = p.lru.PushFront(fr)
+	return nil
+}
+
+func (p *BufferPool) evict() error {
+	el := p.lru.Back()
+	if el == nil {
+		return fmt.Errorf("em: evict from empty pool")
+	}
+	fr := el.Value.(*frame)
+	if fr.dirty {
+		if err := p.disk.WriteBlock(fr.id, fr.data); err != nil {
+			return err
+		}
+	}
+	p.lru.Remove(el)
+	delete(p.byID, fr.id)
+	return nil
+}
+
+// MarkDirty records that the cached copy of id was modified, deferring the
+// write transfer to eviction or Flush.
+func (p *BufferPool) MarkDirty(id BlockID) error {
+	el, ok := p.byID[id]
+	if !ok {
+		return fmt.Errorf("em: MarkDirty of uncached block %d", id)
+	}
+	el.Value.(*frame).dirty = true
+	return nil
+}
+
+// Flush writes back every dirty frame and empties the pool.
+func (p *BufferPool) Flush() error {
+	for p.lru.Len() > 0 {
+		if err := p.evict(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

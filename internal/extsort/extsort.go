@@ -1,0 +1,192 @@
+// Package extsort implements the textbook external merge sort in the EM
+// model: run formation fills the M-byte memory with records, sorts them, and
+// spills sorted runs; then repeated (M/B − 1)-way merges reduce the runs to
+// one. Total cost O((N/B) log_{M/B}(N/B)) block transfers — the same bound
+// as, and a prerequisite of, ExactMaxRS (§5, Theorem 2).
+package extsort
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"sort"
+
+	"maxrs/internal/em"
+)
+
+// Sort sorts the records of in according to less and returns a new sorted
+// file. The input file is not modified and not released. The memory budget
+// env.M bounds both the run-formation buffer and the merge fan-in.
+func Sort[T any](env em.Env, in *em.File, codec em.Codec[T], less func(a, b T) bool) (*em.File, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	runs, err := formRuns(env, in, codec, less)
+	if err != nil {
+		return nil, err
+	}
+	return mergeRuns(env, runs, codec, less, true)
+}
+
+// formRuns produces sorted runs of ≤ M bytes each.
+func formRuns[T any](env em.Env, in *em.File, codec em.Codec[T], less func(a, b T) bool) ([]*em.File, error) {
+	rr, err := em.NewRecordReader(in, codec)
+	if err != nil {
+		return nil, err
+	}
+	perRun := env.M / codec.Size()
+	if perRun < 1 {
+		return nil, fmt.Errorf("extsort: memory %dB cannot hold one %dB record", env.M, codec.Size())
+	}
+	var runs []*em.File
+	buf := make([]T, 0, perRun)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		sort.SliceStable(buf, func(i, j int) bool { return less(buf[i], buf[j]) })
+		f, err := em.WriteAll(env.Disk, codec, buf)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, f)
+		buf = buf[:0]
+		return nil
+	}
+	for {
+		v, err := rr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, v)
+		if len(buf) == perRun {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if len(runs) == 0 { // empty input → empty sorted file
+		runs = append(runs, em.NewFile(env.Disk))
+	}
+	return runs, nil
+}
+
+// mergeRuns repeatedly merges groups of up to fanIn runs until one remains.
+// If releaseInputs is true, merged-away runs are released.
+func mergeRuns[T any](env em.Env, runs []*em.File, codec em.Codec[T], less func(a, b T) bool, releaseInputs bool) (*em.File, error) {
+	fanIn := env.MemBlocks() - 1 // one block reserved for the output buffer
+	if fanIn < 2 {
+		fanIn = 2
+	}
+	for len(runs) > 1 {
+		var next []*em.File
+		for lo := 0; lo < len(runs); lo += fanIn {
+			hi := lo + fanIn
+			if hi > len(runs) {
+				hi = len(runs)
+			}
+			merged, err := mergeOnce(env, runs[lo:hi], codec, less)
+			if err != nil {
+				return nil, err
+			}
+			if releaseInputs {
+				for _, r := range runs[lo:hi] {
+					if err := r.Release(); err != nil {
+						return nil, err
+					}
+				}
+			}
+			next = append(next, merged)
+		}
+		runs = next
+		releaseInputs = true // intermediate levels are always ours to free
+	}
+	return runs[0], nil
+}
+
+// mergeOnce k-way merges the given sorted runs into a fresh file.
+func mergeOnce[T any](env em.Env, runs []*em.File, codec em.Codec[T], less func(a, b T) bool) (*em.File, error) {
+	out := em.NewFile(env.Disk)
+	w, err := em.NewRecordWriter(out, codec)
+	if err != nil {
+		return nil, err
+	}
+	h := &mergeHeap[T]{less: less}
+	for i, r := range runs {
+		rr, err := em.NewRecordReader(r, codec)
+		if err != nil {
+			return nil, err
+		}
+		v, err := rr.Read()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		h.items = append(h.items, mergeItem[T]{v: v, src: rr, idx: i})
+	}
+	heap.Init(h)
+	for h.Len() > 0 {
+		top := h.items[0]
+		if err := w.Write(top.v); err != nil {
+			return nil, err
+		}
+		v, err := top.src.Read()
+		if err == io.EOF {
+			heap.Pop(h)
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		h.items[0].v = v
+		heap.Fix(h, 0)
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+type mergeItem[T any] struct {
+	v   T
+	src *em.RecordReader[T]
+	idx int // run index, tiebreak for stability
+}
+
+type mergeHeap[T any] struct {
+	items []mergeItem[T]
+	less  func(a, b T) bool
+}
+
+func (h *mergeHeap[T]) Len() int { return len(h.items) }
+
+func (h *mergeHeap[T]) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if h.less(a.v, b.v) {
+		return true
+	}
+	if h.less(b.v, a.v) {
+		return false
+	}
+	return a.idx < b.idx // stable across runs
+}
+
+func (h *mergeHeap[T]) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *mergeHeap[T]) Push(x any) { h.items = append(h.items, x.(mergeItem[T])) }
+
+func (h *mergeHeap[T]) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

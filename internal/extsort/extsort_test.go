@@ -1,0 +1,253 @@
+package extsort
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"maxrs/internal/em"
+	"maxrs/internal/rec"
+)
+
+type int64Codec struct{}
+
+func (int64Codec) Size() int                { return 8 }
+func (int64Codec) Encode(d []byte, v int64) { binary.LittleEndian.PutUint64(d, uint64(v)) }
+func (int64Codec) Decode(s []byte) int64    { return int64(binary.LittleEndian.Uint64(s)) }
+
+func lessInt64(a, b int64) bool { return a < b }
+
+func sortInts(t *testing.T, env em.Env, vals []int64) []int64 {
+	t.Helper()
+	in, err := em.WriteAll[int64](env.Disk, int64Codec{}, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Sort(env, in, int64Codec{}, lessInt64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := em.ReadAll[int64](out, int64Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestSortSmall(t *testing.T) {
+	env := em.MustNewEnv(64, 128) // tiny memory: forces multi-level merging
+	vals := []int64{5, 3, 8, 1, 9, 2, 7, 4, 6, 0}
+	got := sortInts(t, env, vals)
+	want := []int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSortEmpty(t *testing.T) {
+	env := em.MustNewEnv(64, 128)
+	got := sortInts(t, env, nil)
+	if len(got) != 0 {
+		t.Fatalf("sorting empty input returned %d records", len(got))
+	}
+}
+
+func TestSortSingle(t *testing.T) {
+	env := em.MustNewEnv(64, 128)
+	got := sortInts(t, env, []int64{42})
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("got %v, want [42]", got)
+	}
+}
+
+func TestSortAlreadySorted(t *testing.T) {
+	env := em.MustNewEnv(64, 192)
+	vals := make([]int64, 500)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	got := sortInts(t, env, vals)
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("got[%d] = %d, want %d", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestSortWithDuplicates(t *testing.T) {
+	env := em.MustNewEnv(64, 128)
+	vals := []int64{3, 1, 3, 1, 3, 1, 2, 2, 2}
+	got := sortInts(t, env, vals)
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("output not sorted: %v", got)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("lost records: %d vs %d", len(got), len(vals))
+	}
+}
+
+func TestSortLargeRandom(t *testing.T) {
+	env := em.MustNewEnv(256, 1024) // 4 blocks of memory, fan-in 3
+	rng := rand.New(rand.NewSource(99))
+	vals := make([]int64, 20000)
+	for i := range vals {
+		vals[i] = rng.Int63n(1000) - 500
+	}
+	got := sortInts(t, env, vals)
+	want := append([]int64(nil), vals...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSortReleasesIntermediates(t *testing.T) {
+	env := em.MustNewEnv(64, 128)
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = rng.Int63()
+	}
+	in, err := em.WriteAll[int64](env.Disk, int64Codec{}, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Sort(env, in, int64Codec{}, lessInt64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the input and the final output should remain allocated.
+	if got, want := env.Disk.InUse(), in.Blocks()+out.Blocks(); got != want {
+		t.Fatalf("blocks in use = %d, want %d (intermediate runs leaked)", got, want)
+	}
+}
+
+func TestSortInvalidEnv(t *testing.T) {
+	// M < 2B violates the EM model and must fail cleanly up front.
+	d := em.MustNewDisk(64)
+	env := em.Env{Disk: d, M: 64}
+	in, err := em.WriteAll(d, rec.ObjectCodec{}, []rec.Object{{X: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sort(env, in, rec.ObjectCodec{}, func(a, b rec.Object) bool { return a.X < b.X }); err == nil {
+		t.Fatal("expected failure for M < 2B")
+	}
+}
+
+func TestSortRectsByX(t *testing.T) {
+	env := em.MustNewEnv(128, 512)
+	rng := rand.New(rand.NewSource(17))
+	var rects []rec.WRect
+	for i := 0; i < 3000; i++ {
+		o := rec.Object{X: rng.Float64() * 1e6, Y: rng.Float64() * 1e6, W: 1}
+		rects = append(rects, rec.FromObject(o, 1000, 1000))
+	}
+	in, err := em.WriteAll(env.Disk, rec.WRectCodec{}, rects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Sort(env, in, rec.WRectCodec{}, func(a, b rec.WRect) bool { return a.X1 < b.X1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := em.ReadAll(out, rec.WRectCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rects) {
+		t.Fatalf("lost rects: %d vs %d", len(got), len(rects))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].X1 < got[i-1].X1 {
+			t.Fatalf("not sorted at %d: %g < %g", i, got[i].X1, got[i-1].X1)
+		}
+	}
+}
+
+// Property: for random inputs and random (small) EM geometries, Sort output
+// equals the in-memory sort.
+func TestQuickSortMatchesStdlib(t *testing.T) {
+	prop := func(raw []int16, bsRaw, memRaw uint8) bool {
+		bs := 16 * (int(bsRaw%8) + 1)   // 16..128
+		mem := bs * (int(memRaw%6) + 2) // 2..7 blocks
+		env := em.MustNewEnv(bs, mem)
+		vals := make([]int64, len(raw))
+		for i, v := range raw {
+			vals[i] = int64(v)
+		}
+		in, err := em.WriteAll[int64](env.Disk, int64Codec{}, vals)
+		if err != nil {
+			return false
+		}
+		out, err := Sort(env, in, int64Codec{}, lessInt64)
+		if err != nil {
+			return false
+		}
+		got, err := em.ReadAll[int64](out, int64Codec{})
+		if err != nil {
+			return false
+		}
+		want := append([]int64(nil), vals...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The I/O cost of sorting must scale like (N/B) log_{M/B}(N/B): doubling the
+// memory with fixed N and B must not increase transfers, and the measured
+// cost must stay within a small constant of the formula.
+func TestSortIOCost(t *testing.T) {
+	const n = 50000
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = rng.Int63()
+	}
+	cost := func(mem int) uint64 {
+		env := em.MustNewEnv(512, mem)
+		in, err := em.WriteAll[int64](env.Disk, int64Codec{}, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.Disk.ResetStats()
+		if _, err := Sort(env, in, int64Codec{}, lessInt64); err != nil {
+			t.Fatal(err)
+		}
+		return env.Disk.Stats().Total()
+	}
+	small := cost(2 * 512)  // M/B = 2
+	large := cost(64 * 512) // M/B = 64
+	if large >= small {
+		t.Fatalf("more memory did not reduce I/O: M/B=2 → %d, M/B=64 → %d", small, large)
+	}
+	// With M/B = 64 the merge is single-level: cost ≈ 2 passes over ~782
+	// blocks plus the run write = read N + write runs + read runs + write out
+	// ≈ 4 * N/B. Allow 1.5x slack.
+	blocks := float64(n*8) / 512
+	if got, bound := float64(large), 4*blocks*1.5; got > bound {
+		t.Fatalf("I/O cost %g exceeds %g (≈4·N/B with slack)", got, bound)
+	}
+	_ = math.Log // keep math import honest if bounds change
+}

@@ -1,0 +1,95 @@
+// Package grid provides a uniform in-memory grid index over weighted
+// points. It serves the MaxCRS subsystem: neighbor enumeration within a
+// fixed radius for the exact angular-sweep oracle, and fast evaluation of
+// candidate centers for ApproxMaxCRS (Algorithm 3 line 7 is a single scan
+// in the paper; the grid gives the same answers and is also handy for
+// examples and tests).
+package grid
+
+import (
+	"math"
+
+	"maxrs/internal/geom"
+)
+
+// Grid is a uniform spatial hash of objects with square cells.
+type Grid struct {
+	cell    float64
+	origin  geom.Point
+	cells   map[[2]int32][]geom.Object
+	objects int
+}
+
+// New builds a grid with the given cell size (> 0) over the objects.
+func New(objs []geom.Object, cellSize float64) *Grid {
+	if cellSize <= 0 || math.IsInf(cellSize, 0) || math.IsNaN(cellSize) {
+		cellSize = 1
+	}
+	g := &Grid{cell: cellSize, cells: make(map[[2]int32][]geom.Object)}
+	for _, o := range objs {
+		k := g.key(o.Point)
+		g.cells[k] = append(g.cells[k], o)
+		g.objects++
+	}
+	return g
+}
+
+// Len returns the number of indexed objects.
+func (g *Grid) Len() int { return g.objects }
+
+// CellSize returns the grid resolution.
+func (g *Grid) CellSize() float64 { return g.cell }
+
+func (g *Grid) key(p geom.Point) [2]int32 {
+	return [2]int32{int32(math.Floor(p.X / g.cell)), int32(math.Floor(p.Y / g.cell))}
+}
+
+// VisitRect calls fn for every object inside the rectangle.
+func (g *Grid) VisitRect(r geom.Rect, fn func(geom.Object)) {
+	if r.Empty() {
+		return
+	}
+	x0 := int32(math.Floor(r.X.Lo / g.cell))
+	x1 := int32(math.Floor(r.X.Hi / g.cell))
+	y0 := int32(math.Floor(r.Y.Lo / g.cell))
+	y1 := int32(math.Floor(r.Y.Hi / g.cell))
+	for cx := x0; cx <= x1; cx++ {
+		for cy := y0; cy <= y1; cy++ {
+			for _, o := range g.cells[[2]int32{cx, cy}] {
+				if r.Contains(o.Point) {
+					fn(o)
+				}
+			}
+		}
+	}
+}
+
+// WeightInRect sums the weights of objects covered by the w×h rectangle
+// centered at p.
+func (g *Grid) WeightInRect(p geom.Point, w, h float64) float64 {
+	var sum float64
+	g.VisitRect(geom.RectFromCenter(p, w, h), func(o geom.Object) { sum += o.W })
+	return sum
+}
+
+// VisitWithin calls fn for every object at distance strictly less than
+// radius from p.
+func (g *Grid) VisitWithin(p geom.Point, radius float64, fn func(geom.Object)) {
+	if radius <= 0 {
+		return
+	}
+	r2 := radius * radius
+	g.VisitRect(geom.RectFromCenter(p, 2*radius+g.cell*1e-9, 2*radius+g.cell*1e-9), func(o geom.Object) {
+		if p.Dist2(o.Point) < r2 {
+			fn(o)
+		}
+	})
+}
+
+// WeightInCircle sums the weights of objects strictly inside the circle of
+// the given diameter centered at p.
+func (g *Grid) WeightInCircle(p geom.Point, diameter float64) float64 {
+	var sum float64
+	g.VisitWithin(p, diameter/2, func(o geom.Object) { sum += o.W })
+	return sum
+}

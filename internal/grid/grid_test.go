@@ -1,0 +1,103 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"maxrs/internal/geom"
+)
+
+func randObjs(rng *rand.Rand, n int, extent float64) []geom.Object {
+	objs := make([]geom.Object, n)
+	for i := range objs {
+		objs[i] = geom.Object{
+			Point: geom.Point{X: rng.Float64()*extent - extent/2, Y: rng.Float64()*extent - extent/2},
+			W:     float64(rng.Intn(5) + 1),
+		}
+	}
+	return objs
+}
+
+func TestGridMatchesBruteForceRect(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		objs := randObjs(rng, rng.Intn(200)+1, 100)
+		g := New(objs, rng.Float64()*20+0.5)
+		if g.Len() != len(objs) {
+			t.Fatalf("Len = %d, want %d", g.Len(), len(objs))
+		}
+		for probe := 0; probe < 20; probe++ {
+			p := geom.Point{X: rng.Float64()*120 - 60, Y: rng.Float64()*120 - 60}
+			w := rng.Float64()*30 + 1
+			h := rng.Float64()*30 + 1
+			got := g.WeightInRect(p, w, h)
+			want := geom.WeightIn(objs, p, w, h)
+			if got != want {
+				t.Fatalf("WeightInRect(%v,%g,%g) = %g, want %g", p, w, h, got, want)
+			}
+		}
+	}
+}
+
+func TestGridMatchesBruteForceCircle(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		objs := randObjs(rng, rng.Intn(200)+1, 100)
+		g := New(objs, rng.Float64()*20+0.5)
+		for probe := 0; probe < 20; probe++ {
+			p := geom.Point{X: rng.Float64()*120 - 60, Y: rng.Float64()*120 - 60}
+			d := rng.Float64()*40 + 1
+			got := g.WeightInCircle(p, d)
+			want := geom.WeightInCircle(objs, p, d)
+			if got != want {
+				t.Fatalf("WeightInCircle(%v,%g) = %g, want %g", p, d, got, want)
+			}
+		}
+	}
+}
+
+func TestGridNegativeCoordinates(t *testing.T) {
+	objs := []geom.Object{
+		{Point: geom.Point{X: -10.5, Y: -20.5}, W: 1},
+		{Point: geom.Point{X: -10.4, Y: -20.4}, W: 2},
+	}
+	g := New(objs, 3)
+	if got := g.WeightInRect(geom.Point{X: -10.45, Y: -20.45}, 1, 1); got != 3 {
+		t.Fatalf("weight = %g, want 3", got)
+	}
+}
+
+func TestGridVisitWithinStrict(t *testing.T) {
+	objs := []geom.Object{
+		{Point: geom.Point{X: 5, Y: 0}, W: 1}, // exactly on radius-5 boundary
+		{Point: geom.Point{X: 4.999, Y: 0}, W: 2},
+	}
+	g := New(objs, 2)
+	var sum float64
+	g.VisitWithin(geom.Point{}, 5, func(o geom.Object) { sum += o.W })
+	if sum != 2 {
+		t.Fatalf("sum = %g, want 2 (boundary excluded)", sum)
+	}
+}
+
+func TestGridDegenerateCellSize(t *testing.T) {
+	objs := []geom.Object{{Point: geom.Point{X: 1, Y: 1}, W: 1}}
+	for _, cs := range []float64{0, -5, math.Inf(1), math.NaN()} {
+		g := New(objs, cs)
+		if got := g.WeightInRect(geom.Point{X: 1, Y: 1}, 2, 2); got != 1 {
+			t.Fatalf("cellSize %g: weight = %g, want 1", cs, got)
+		}
+	}
+}
+
+func TestGridEmpty(t *testing.T) {
+	g := New(nil, 10)
+	if g.Len() != 0 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if got := g.WeightInRect(geom.Point{}, 100, 100); got != 0 {
+		t.Fatalf("weight = %g", got)
+	}
+	g.VisitRect(geom.Rect{}, func(geom.Object) { t.Fatal("empty rect visited") })
+}

@@ -1,0 +1,300 @@
+// Package ratree implements an external-memory aggregate R-tree
+// supporting range aggregate (RA) queries — the related-work substrate of
+// §3: "To calculate the aggregate value of a query region, a common idea
+// is to store a pre-calculated value for each entry in the index".
+//
+// The paper argues that RA indexes cannot solve MaxRS efficiently because
+// "the key is to find out where the best rectangle is. A naive solution
+// to the MaxRS problem is to issue an infinite number of RA queries,
+// which is prohibitively expensive." This package makes that argument
+// measurable: it provides the aggregate index (STR bulk-loaded, served
+// through an LRU buffer pool with counted transfers) plus GridMaxRS, the
+// RA-enumeration heuristic, so examples and benches can compare its cost
+// and quality against ExactMaxRS.
+package ratree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"maxrs/internal/em"
+	"maxrs/internal/geom"
+)
+
+// Node block layout:
+//
+//	[0:2)  uint16 entry count
+//	[2:3)  1 if leaf
+//	[3:]   entries —
+//	  leaf:     x f64, y f64, w f64                      (24 B)
+//	  internal: minX, minY, maxX, maxY f64, child i64,
+//	            agg f64                                  (48 B)
+const (
+	raHeader   = 3
+	raLeafEnt  = 24
+	raIntEnt   = 48
+	raMinBlock = raHeader + 2*raIntEnt
+)
+
+// Tree is a bulk-loaded aggregate R-tree on a simulated disk.
+type Tree struct {
+	disk   *em.Disk
+	pool   *em.BufferPool
+	root   em.BlockID
+	height int
+	bounds geom.Rect
+	n      int
+}
+
+type nodeRef struct {
+	id  em.BlockID
+	mbr geom.Rect
+	agg float64
+}
+
+// Build bulk-loads an aggregate R-tree over the objects using the
+// Sort-Tile-Recursive packing, with a buffer pool of env.MemBlocks frames.
+func Build(env em.Env, objs []geom.Object) (*Tree, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	if env.B() < raMinBlock {
+		return nil, fmt.Errorf("ratree: block size %d too small", env.B())
+	}
+	if len(objs) == 0 {
+		return nil, errors.New("ratree: empty object set")
+	}
+	pool, err := em.NewBufferPool(env.Disk, env.MemBlocks())
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{disk: env.Disk, pool: pool, n: len(objs)}
+
+	leafCap := (env.B() - raHeader) / raLeafEnt
+	intCap := (env.B() - raHeader) / raIntEnt
+
+	// STR: sort by x, slice into vertical runs of √(n/cap) tiles, sort
+	// each run by y, pack.
+	sorted := append([]geom.Object(nil), objs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].X < sorted[j].X })
+	nLeaves := (len(sorted) + leafCap - 1) / leafCap
+	runLen := int(math.Ceil(math.Sqrt(float64(nLeaves)))) * leafCap
+
+	var level []nodeRef
+	for lo := 0; lo < len(sorted); lo += runLen {
+		hi := lo + runLen
+		if hi > len(sorted) {
+			hi = len(sorted)
+		}
+		run := sorted[lo:hi]
+		sort.Slice(run, func(i, j int) bool { return run[i].Y < run[j].Y })
+		for l := 0; l < len(run); l += leafCap {
+			h := l + leafCap
+			if h > len(run) {
+				h = len(run)
+			}
+			ref, err := t.writeLeaf(run[l:h])
+			if err != nil {
+				return nil, err
+			}
+			level = append(level, ref)
+		}
+	}
+	t.height = 1
+	for len(level) > 1 {
+		var next []nodeRef
+		for lo := 0; lo < len(level); lo += intCap {
+			hi := lo + intCap
+			if hi > len(level) {
+				hi = len(level)
+			}
+			ref, err := t.writeInternal(level[lo:hi])
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, ref)
+		}
+		level = next
+		t.height++
+	}
+	t.root = level[0].id
+	t.bounds = level[0].mbr
+	return t, nil
+}
+
+func (t *Tree) writeLeaf(objs []geom.Object) (nodeRef, error) {
+	id := t.disk.Alloc()
+	data, err := t.pool.GetNew(id)
+	if err != nil {
+		return nodeRef{}, err
+	}
+	binary.LittleEndian.PutUint16(data[0:], uint16(len(objs)))
+	data[2] = 1
+	mbr := geom.Rect{
+		X: geom.Interval{Lo: math.Inf(1), Hi: math.Inf(-1)},
+		Y: geom.Interval{Lo: math.Inf(1), Hi: math.Inf(-1)},
+	}
+	var agg float64
+	for i, o := range objs {
+		off := raHeader + i*raLeafEnt
+		putF(data, off, o.X)
+		putF(data, off+8, o.Y)
+		putF(data, off+16, o.W)
+		mbr.X.Lo = math.Min(mbr.X.Lo, o.X)
+		mbr.X.Hi = math.Max(mbr.X.Hi, o.X)
+		mbr.Y.Lo = math.Min(mbr.Y.Lo, o.Y)
+		mbr.Y.Hi = math.Max(mbr.Y.Hi, o.Y)
+		agg += o.W
+	}
+	return nodeRef{id: id, mbr: mbr, agg: agg}, nil
+}
+
+func (t *Tree) writeInternal(children []nodeRef) (nodeRef, error) {
+	id := t.disk.Alloc()
+	data, err := t.pool.GetNew(id)
+	if err != nil {
+		return nodeRef{}, err
+	}
+	binary.LittleEndian.PutUint16(data[0:], uint16(len(children)))
+	data[2] = 0
+	mbr := children[0].mbr
+	var agg float64
+	for i, c := range children {
+		off := raHeader + i*raIntEnt
+		putF(data, off, c.mbr.X.Lo)
+		putF(data, off+8, c.mbr.Y.Lo)
+		putF(data, off+16, c.mbr.X.Hi)
+		putF(data, off+24, c.mbr.Y.Hi)
+		binary.LittleEndian.PutUint64(data[off+32:], uint64(c.id))
+		putF(data, off+40, c.agg)
+		mbr.X = mbr.X.Union(c.mbr.X)
+		mbr.Y = mbr.Y.Union(c.mbr.Y)
+		agg += c.agg
+	}
+	return nodeRef{id: id, mbr: mbr, agg: agg}, nil
+}
+
+func putF(b []byte, off int, v float64) {
+	binary.LittleEndian.PutUint64(b[off:], math.Float64bits(v))
+}
+
+func getF(b []byte, off int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+}
+
+// Len returns the number of indexed objects.
+func (t *Tree) Len() int { return t.n }
+
+// Height returns the number of tree levels.
+func (t *Tree) Height() int { return t.height }
+
+// Bounds returns the MBR of the whole dataset. Note: leaf MBRs are tight
+// point bounds, so Bounds is closed on all sides.
+func (t *Tree) Bounds() geom.Rect { return t.bounds }
+
+// RAQuery returns the total weight of the objects covered by q under the
+// half-open semantics of geom.Rect. Cost: one pool access per visited
+// node; fully contained subtrees contribute their aggregate without
+// descent (the defining optimization of aggregate indexes, §3).
+func (t *Tree) RAQuery(q geom.Rect) (float64, error) {
+	if q.Empty() {
+		return 0, nil
+	}
+	return t.query(t.root, q)
+}
+
+func (t *Tree) query(id em.BlockID, q geom.Rect) (float64, error) {
+	data, err := t.pool.Get(id)
+	if err != nil {
+		return 0, err
+	}
+	n := int(binary.LittleEndian.Uint16(data[0:]))
+	var sum float64
+	if data[2] == 1 {
+		for i := 0; i < n; i++ {
+			off := raHeader + i*raLeafEnt
+			p := geom.Point{X: getF(data, off), Y: getF(data, off+8)}
+			if q.Contains(p) {
+				sum += getF(data, off+16)
+			}
+		}
+		return sum, nil
+	}
+	type pending struct {
+		child em.BlockID
+	}
+	var descend []pending
+	for i := 0; i < n; i++ {
+		off := raHeader + i*raIntEnt
+		mbr := geom.Rect{
+			X: geom.Interval{Lo: getF(data, off), Hi: getF(data, off+16)},
+			Y: geom.Interval{Lo: getF(data, off+8), Hi: getF(data, off+24)},
+		}
+		// MBRs are closed point bounds; the query is half-open.
+		if !overlapsClosed(q, mbr) {
+			continue
+		}
+		if containsClosed(q, mbr) {
+			sum += getF(data, off+40)
+			continue
+		}
+		descend = append(descend, pending{child: em.BlockID(binary.LittleEndian.Uint64(data[off+32:]))})
+	}
+	// Collect children first: recursion may evict this node's frame.
+	for _, p := range descend {
+		s, err := t.query(p.child, q)
+		if err != nil {
+			return 0, err
+		}
+		sum += s
+	}
+	return sum, nil
+}
+
+// overlapsClosed reports whether the half-open query q can contain any
+// point of the closed box mbr.
+func overlapsClosed(q geom.Rect, mbr geom.Rect) bool {
+	return mbr.X.Lo < q.X.Hi && q.X.Lo <= mbr.X.Hi &&
+		mbr.Y.Lo < q.Y.Hi && q.Y.Lo <= mbr.Y.Hi
+}
+
+// containsClosed reports whether every point of the closed box mbr lies
+// inside the half-open query q.
+func containsClosed(q geom.Rect, mbr geom.Rect) bool {
+	return q.X.Lo <= mbr.X.Lo && mbr.X.Hi < q.X.Hi &&
+		q.Y.Lo <= mbr.Y.Lo && mbr.Y.Hi < q.Y.Hi
+}
+
+// GridMaxRS is the RA-enumeration heuristic the paper dismisses in §3: it
+// issues one RA query per cell of a step×step grid of candidate centers
+// over the data bounds and returns the best. It is approximate (the true
+// optimum may fall between grid points) and its cost grows with the
+// number of candidates — the point of the comparison with ExactMaxRS.
+func (t *Tree) GridMaxRS(w, h float64, step float64) (geom.Point, float64, error) {
+	if w <= 0 || h <= 0 || step <= 0 {
+		return geom.Point{}, 0, fmt.Errorf("ratree: invalid GridMaxRS parameters %g %g %g", w, h, step)
+	}
+	var (
+		best    float64 = math.Inf(-1)
+		bestPt  geom.Point
+		queries int
+	)
+	for x := t.bounds.X.Lo; x <= t.bounds.X.Hi+step; x += step {
+		for y := t.bounds.Y.Lo; y <= t.bounds.Y.Hi+step; y += step {
+			p := geom.Point{X: x, Y: y}
+			s, err := t.RAQuery(geom.RectFromCenter(p, w, h))
+			if err != nil {
+				return geom.Point{}, 0, err
+			}
+			queries++
+			if s > best {
+				best, bestPt = s, p
+			}
+		}
+	}
+	_ = queries
+	return bestPt, best, nil
+}

@@ -1,0 +1,194 @@
+package ratree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"maxrs/internal/core"
+	"maxrs/internal/em"
+	"maxrs/internal/geom"
+	"maxrs/internal/sweep"
+	"maxrs/internal/workload"
+)
+
+func randObjs(rng *rand.Rand, n int, extent float64) []geom.Object {
+	objs := make([]geom.Object, n)
+	for i := range objs {
+		objs[i] = geom.Object{
+			Point: geom.Point{
+				X: math.Floor(rng.Float64() * extent),
+				Y: math.Floor(rng.Float64() * extent),
+			},
+			W: float64(rng.Intn(5) + 1),
+		}
+	}
+	return objs
+}
+
+func TestBuildValidation(t *testing.T) {
+	env := em.MustNewEnv(4096, 64*1024)
+	if _, err := Build(env, nil); err == nil {
+		t.Fatal("empty set must fail")
+	}
+	tiny := em.MustNewEnv(64, 256)
+	if _, err := Build(tiny, randObjs(rand.New(rand.NewSource(1)), 10, 100)); err == nil {
+		t.Fatal("too-small blocks must fail")
+	}
+	if _, err := Build(em.Env{}, randObjs(rand.New(rand.NewSource(1)), 10, 100)); err == nil {
+		t.Fatal("invalid env must fail")
+	}
+}
+
+func TestRAQueryMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		env := em.MustNewEnv(256, 4096)
+		objs := randObjs(rng, rng.Intn(500)+1, 200)
+		tree, err := Build(env, objs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.Len() != len(objs) {
+			t.Fatalf("Len = %d, want %d", tree.Len(), len(objs))
+		}
+		for probe := 0; probe < 30; probe++ {
+			p := geom.Point{X: rng.Float64() * 220, Y: rng.Float64() * 220}
+			w := rng.Float64()*60 + 1
+			h := rng.Float64()*60 + 1
+			got, err := tree.RAQuery(geom.RectFromCenter(p, w, h))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := geom.WeightIn(objs, p, w, h)
+			if got != want {
+				t.Fatalf("trial %d: RAQuery = %g, brute force = %g (center %v, %gx%g)",
+					trial, got, want, p, w, h)
+			}
+		}
+	}
+}
+
+func TestRAQueryEmptyAndWhole(t *testing.T) {
+	env := em.MustNewEnv(256, 4096)
+	objs := randObjs(rand.New(rand.NewSource(2)), 300, 100)
+	tree, err := Build(env, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := tree.RAQuery(geom.Rect{}); err != nil || got != 0 {
+		t.Fatalf("empty query = %g, %v", got, err)
+	}
+	var total float64
+	for _, o := range objs {
+		total += o.W
+	}
+	whole := geom.Rect{
+		X: geom.Interval{Lo: math.Inf(-1), Hi: math.Inf(1)},
+		Y: geom.Interval{Lo: math.Inf(-1), Hi: math.Inf(1)},
+	}
+	got, err := tree.RAQuery(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != total {
+		t.Fatalf("whole-space query = %g, want %g", got, total)
+	}
+}
+
+func TestContainedSubtreesSkipDescent(t *testing.T) {
+	// A query containing everything must touch only the root: aggregates
+	// make it O(1) pool accesses after warm-up.
+	env := em.MustNewEnv(256, 8192)
+	objs := randObjs(rand.New(rand.NewSource(3)), 2000, 1000)
+	tree, err := Build(env, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Disk.ResetStats()
+	whole := geom.Rect{
+		X: geom.Interval{Lo: -1, Hi: 1e9},
+		Y: geom.Interval{Lo: -1, Hi: 1e9},
+	}
+	if _, err := tree.RAQuery(whole); err != nil {
+		t.Fatal(err)
+	}
+	// Root read is at most one miss; everything else is aggregated.
+	if r := env.Disk.Stats().Reads; r > 1 {
+		t.Fatalf("whole-space RA query read %d blocks, want ≤ 1", r)
+	}
+}
+
+func TestGridMaxRSApproximatesExact(t *testing.T) {
+	env := em.MustNewEnv(256, 8192)
+	objs := workload.Uniform(5, 800, 400)
+	tree, err := Build(env, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const w, h = 40, 40
+	_, gridScore, err := tree.GridMaxRS(w, h, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := sweep.MaxRS(objs, w, h)
+	if gridScore > exact.Sum {
+		t.Fatalf("grid enumeration %g exceeds exact optimum %g", gridScore, exact.Sum)
+	}
+	// With a step of w/4 the grid should land near the optimum.
+	if gridScore < 0.5*exact.Sum {
+		t.Fatalf("grid enumeration %g too far below optimum %g", gridScore, exact.Sum)
+	}
+	if _, _, err := tree.GridMaxRS(0, 10, 5); err == nil {
+		t.Fatal("invalid params must fail")
+	}
+}
+
+// The §3 claim, measured: approaching exactness via RA enumeration needs a
+// grid fine relative to the data geometry, and at that resolution the
+// query count (hence I/O) dwarfs one ExactMaxRS run on the same data,
+// while the score still cannot exceed the true optimum.
+func TestGridEnumerationLosesToExactMaxRS(t *testing.T) {
+	objs := workload.Uniform(11, 3000, 4000)
+	const w, h = 100.0, 100.0
+
+	envA := em.MustNewEnv(512, 4096)
+	tree, err := Build(envA, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envA.Disk.ResetStats()
+	_, gridScore, err := tree.GridMaxRS(w, h, w/20) // fine grid: 640k+ RA queries
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridIO := envA.Disk.Stats().Total()
+
+	exact := sweep.MaxRS(objs, w, h)
+	if gridScore > exact.Sum {
+		t.Fatalf("grid %g exceeds exact %g", gridScore, exact.Sum)
+	}
+
+	envB := em.MustNewEnv(512, 4096)
+	f, err := workload.Write(envB.Disk, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := core.NewSolver(envB, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	envB.Disk.ResetStats()
+	res, err := solver.SolveObjects(f, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactIO := envB.Disk.Stats().Total()
+	if res.Sum != exact.Sum {
+		t.Fatalf("solver %g vs sweep %g", res.Sum, exact.Sum)
+	}
+	if gridIO < 5*exactIO {
+		t.Fatalf("fine RA grid (%d transfers) not clearly above ExactMaxRS (%d)",
+			gridIO, exactIO)
+	}
+}

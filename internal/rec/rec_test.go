@@ -1,0 +1,155 @@
+package rec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"maxrs/internal/geom"
+)
+
+func TestObjectRoundTrip(t *testing.T) {
+	prop := func(x, y, w float64) bool {
+		o := Object{X: x, Y: y, W: w}
+		buf := make([]byte, ObjectCodec{}.Size())
+		ObjectCodec{}.Encode(buf, o)
+		got := ObjectCodec{}.Decode(buf)
+		return sameF(got.X, x) && sameF(got.Y, y) && sameF(got.W, w)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sameF compares float64 bit patterns (NaN-safe).
+func sameF(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+func TestWRectRoundTrip(t *testing.T) {
+	prop := func(a, b, c, d, w float64) bool {
+		r := WRect{X1: a, X2: b, Y1: c, Y2: d, W: w}
+		buf := make([]byte, WRectCodec{}.Size())
+		WRectCodec{}.Encode(buf, r)
+		got := WRectCodec{}.Decode(buf)
+		return sameF(got.X1, a) && sameF(got.X2, b) && sameF(got.Y1, c) &&
+			sameF(got.Y2, d) && sameF(got.W, w)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTupleRoundTrip(t *testing.T) {
+	prop := func(y, x1, x2, s float64) bool {
+		tp := Tuple{Y: y, X1: x1, X2: x2, Sum: s}
+		buf := make([]byte, TupleCodec{}.Size())
+		TupleCodec{}.Encode(buf, tp)
+		got := TupleCodec{}.Decode(buf)
+		return sameF(got.Y, y) && sameF(got.X1, x1) && sameF(got.X2, x2) && sameF(got.Sum, s)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	prop := func(y, x1, x2, w float64, top bool) bool {
+		e := Event{Y: y, X1: x1, X2: x2, W: w, Top: top}
+		buf := make([]byte, EventCodec{}.Size())
+		EventCodec{}.Encode(buf, e)
+		got := EventCodec{}.Decode(buf)
+		return sameF(got.Y, y) && sameF(got.X1, x1) && sameF(got.X2, x2) &&
+			sameF(got.W, w) && got.Top == top
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPieceEventRoundTripAndY(t *testing.T) {
+	prop := func(a, b, c, d, w float64, top bool) bool {
+		e := PieceEvent{R: WRect{X1: a, X2: b, Y1: c, Y2: d, W: w}, Top: top}
+		buf := make([]byte, PieceEventCodec{}.Size())
+		PieceEventCodec{}.Encode(buf, e)
+		got := PieceEventCodec{}.Decode(buf)
+		if got.Top != top || !sameF(got.R.X1, a) || !sameF(got.R.Y2, d) {
+			return false
+		}
+		if top {
+			return sameF(e.Y(), d)
+		}
+		return sameF(e.Y(), c)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64RoundTrip(t *testing.T) {
+	vals := []float64{0, 1, -1, math.Inf(1), math.Inf(-1), math.MaxFloat64, math.SmallestNonzeroFloat64, math.NaN()}
+	for _, v := range vals {
+		buf := make([]byte, 8)
+		Float64Codec{}.Encode(buf, v)
+		if got := (Float64Codec{}).Decode(buf); !sameF(got, v) {
+			t.Fatalf("round trip of %g gave %g", v, got)
+		}
+	}
+}
+
+func TestFromObjectGeometry(t *testing.T) {
+	o := Object{X: 10, Y: 20, W: 3}
+	r := FromObject(o, 4, 6)
+	if r.X1 != 8 || r.X2 != 12 || r.Y1 != 17 || r.Y2 != 23 || r.W != 3 {
+		t.Fatalf("unexpected rect %+v", r)
+	}
+	// Reduction property (§5.1): the transformed rectangle covers a center
+	// point p iff the query rectangle centered at p covers the object.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		p := geom.Point{X: rng.Float64()*20 - 10 + 10, Y: rng.Float64()*20 - 10 + 20}
+		covered := r.RectOf().Contains(p)
+		query := geom.RectFromCenter(p, 4, 6)
+		if covered != query.Contains(geom.Point{X: o.X, Y: o.Y}) {
+			t.Fatalf("reduction violated at %v", p)
+		}
+	}
+}
+
+func TestEventsOfAndLess(t *testing.T) {
+	r := WRect{X1: 0, X2: 2, Y1: 1, Y2: 5, W: 7}
+	bottom, top := EventsOf(r)
+	if bottom.Y != 1 || bottom.Top || top.Y != 5 || !top.Top {
+		t.Fatalf("events: %+v %+v", bottom, top)
+	}
+	if !bottom.Less(top) {
+		t.Fatal("bottom at y=1 must sort before top at y=5")
+	}
+	// Tops sort before bottoms at equal y.
+	a := Event{Y: 3, Top: true}
+	c := Event{Y: 3, Top: false}
+	if !a.Less(c) || c.Less(a) {
+		t.Fatal("top must sort before bottom at equal y")
+	}
+	// Deterministic tiebreak on x.
+	d := Event{Y: 3, X1: 1}
+	e := Event{Y: 3, X1: 2}
+	if !d.Less(e) || e.Less(d) {
+		t.Fatal("x1 tiebreak broken")
+	}
+	f := Event{Y: 3, X1: 1, X2: 4}
+	g := Event{Y: 3, X1: 1, X2: 5}
+	if !f.Less(g) || g.Less(f) {
+		t.Fatal("x2 tiebreak broken")
+	}
+}
+
+func TestGeomConversions(t *testing.T) {
+	g := geom.Object{Point: geom.Point{X: 1, Y: 2}, W: 3}
+	o := FromGeom(g)
+	if o.X != 1 || o.Y != 2 || o.W != 3 {
+		t.Fatalf("FromGeom: %+v", o)
+	}
+	if o.Geom() != g {
+		t.Fatalf("Geom round trip: %+v", o.Geom())
+	}
+}

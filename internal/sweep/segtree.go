@@ -1,0 +1,124 @@
+package sweep
+
+import "math"
+
+// segTree is a segment tree over n cells (contiguous half-open x-ranges)
+// supporting range-add of weights and O(log n) extraction of a maximal run
+// of cells attaining the global maximum. It is the sweep-line status
+// structure of the in-memory algorithm (Imai–Asano [11]): the cells are the
+// elementary x-intervals between consecutive rectangle edges, and each
+// active rectangle contributes its weight to the cells its x-range covers.
+//
+// Lazy adds are kept per node; node aggregates (min/max) include the node's
+// own pending add, so queries accumulate ancestor adds on the way down and
+// never need to materialize them.
+type segTree struct {
+	n    int
+	minv []float64
+	maxv []float64
+	add  []float64
+}
+
+func newSegTree(n int) *segTree {
+	if n < 1 {
+		n = 1
+	}
+	return &segTree{
+		n:    n,
+		minv: make([]float64, 4*n),
+		maxv: make([]float64, 4*n),
+		add:  make([]float64, 4*n),
+	}
+}
+
+// Update adds delta to every cell in [l, r). Out-of-range bounds are clamped.
+func (t *segTree) Update(l, r int, delta float64) {
+	if l < 0 {
+		l = 0
+	}
+	if r > t.n {
+		r = t.n
+	}
+	if l >= r {
+		return
+	}
+	t.update(1, 0, t.n, l, r, delta)
+}
+
+func (t *segTree) update(node, lo, hi, l, r int, delta float64) {
+	if l <= lo && hi <= r {
+		t.add[node] += delta
+		t.minv[node] += delta
+		t.maxv[node] += delta
+		return
+	}
+	mid := (lo + hi) / 2
+	if l < mid {
+		t.update(2*node, lo, mid, l, r, delta)
+	}
+	if r > mid {
+		t.update(2*node+1, mid, hi, l, r, delta)
+	}
+	t.minv[node] = math.Min(t.minv[2*node], t.minv[2*node+1]) + t.add[node]
+	t.maxv[node] = math.Max(t.maxv[2*node], t.maxv[2*node+1]) + t.add[node]
+}
+
+// Max returns the maximum cell value.
+func (t *segTree) Max() float64 { return t.maxv[1] }
+
+// MaxRun returns a maximal run [l, r) of cells whose value equals Max():
+// the leftmost cell attaining the maximum, extended right as far as the
+// value stays at the maximum. Cost O(log n).
+func (t *segTree) MaxRun() (l, r int) {
+	m := t.maxv[1]
+	l = t.leftmostAt(1, 0, t.n, 0, m)
+	r = t.nextBelow(1, 0, t.n, l+1, 0, m)
+	return l, r
+}
+
+// leftmostAt returns the index of the leftmost leaf whose value equals v.
+// Caller guarantees such a leaf exists (v is the subtree max).
+func (t *segTree) leftmostAt(node, lo, hi int, acc, v float64) int {
+	if hi-lo == 1 {
+		return lo
+	}
+	acc += t.add[node]
+	mid := (lo + hi) / 2
+	if t.maxv[2*node]+acc == v {
+		return t.leftmostAt(2*node, lo, mid, acc, v)
+	}
+	return t.leftmostAt(2*node+1, mid, hi, acc, v)
+}
+
+// nextBelow returns the index of the first leaf ≥ from whose value is < v,
+// or n if every leaf from `from` on has value ≥ v.
+func (t *segTree) nextBelow(node, lo, hi, from int, acc, v float64) int {
+	if hi <= from || t.minv[node]+acc >= v {
+		return t.n
+	}
+	if hi-lo == 1 {
+		return lo // minv < v and this is a single leaf ≥ from
+	}
+	acc += t.add[node]
+	mid := (lo + hi) / 2
+	if got := t.nextBelow(2*node, lo, mid, from, acc, v); got < t.n {
+		return got
+	}
+	return t.nextBelow(2*node+1, mid, hi, from, acc, v)
+}
+
+// CellValue returns the value of one cell (test/debug helper, O(log n)).
+func (t *segTree) CellValue(i int) float64 {
+	node, lo, hi := 1, 0, t.n
+	var acc float64
+	for hi-lo > 1 {
+		acc += t.add[node]
+		mid := (lo + hi) / 2
+		if i < mid {
+			node, hi = 2*node, mid
+		} else {
+			node, lo = 2*node+1, mid
+		}
+	}
+	return t.maxv[node] + acc
+}

@@ -1,0 +1,172 @@
+// Package workload generates the datasets of the paper's evaluation (§7.1):
+// synthetic Uniform and Gaussian point sets over [0, 4|O|]² (default
+// [0, 10⁶]²), and synthetic stand-ins for the two real datasets from the
+// (now defunct) R-tree Portal:
+//
+//	UX — United States of America and Mexico,  19,499 points
+//	NE — North East USA,                      123,593 points
+//
+// Substitution note (documented in DESIGN.md §3.5): the original files are
+// unavailable offline, so SyntheticUX/SyntheticNE reproduce the published
+// cardinalities, the normalized [0, 10⁶]² coordinate range, and the
+// qualitative structure the experiments depend on — UX sparse with
+// wide-area clusters, NE dense with anisotropic coastline-like clusters.
+// No experiment in the paper depends on actual geography.
+//
+// All generators are deterministic in their seed.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"maxrs/internal/em"
+	"maxrs/internal/geom"
+	"maxrs/internal/rec"
+)
+
+// Paper cardinalities (Table 2).
+const (
+	UXCardinality = 19499
+	NECardinality = 123593
+)
+
+// SpaceExtent is the default normalized coordinate range [0, SpaceExtent]²
+// (Table 3: space size 1M × 1M).
+const SpaceExtent = 1_000_000.0
+
+// Uniform returns n unit-weight objects uniformly distributed over
+// [0, extent]².
+func Uniform(seed int64, n int, extent float64) []geom.Object {
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]geom.Object, n)
+	for i := range objs {
+		objs[i] = geom.Object{
+			Point: geom.Point{X: rng.Float64() * extent, Y: rng.Float64() * extent},
+			W:     1,
+		}
+	}
+	return objs
+}
+
+// Gaussian returns n unit-weight objects from an isotropic Gaussian
+// centered in [0, extent]² with standard deviation extent/8, clamped to
+// the space (the paper's "Gaussian distribution" synthetic data).
+func Gaussian(seed int64, n int, extent float64) []geom.Object {
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]geom.Object, n)
+	sigma := extent / 8
+	for i := range objs {
+		objs[i] = geom.Object{
+			Point: geom.Point{
+				X: clamp(extent/2+rng.NormFloat64()*sigma, 0, extent),
+				Y: clamp(extent/2+rng.NormFloat64()*sigma, 0, extent),
+			},
+			W: 1,
+		}
+	}
+	return objs
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// clustered generates a cluster mixture: nClusters anisotropic Gaussian
+// clusters with power-law sizes plus a uniform background fraction.
+func clustered(seed int64, n, nClusters int, extent, spreadFrac, bgFrac float64) []geom.Object {
+	rng := rand.New(rand.NewSource(seed))
+	type cluster struct {
+		cx, cy, sx, sy, rot, mass float64
+	}
+	clusters := make([]cluster, nClusters)
+	var totalMass float64
+	for i := range clusters {
+		mass := math.Pow(rng.Float64(), 2) + 0.05 // power-law-ish sizes
+		spread := extent * spreadFrac * (0.3 + rng.Float64())
+		clusters[i] = cluster{
+			cx: rng.Float64() * extent,
+			cy: rng.Float64() * extent,
+			// Anisotropic: elongated along a random direction, like
+			// settlements along coasts and corridors.
+			sx:   spread,
+			sy:   spread * (0.15 + 0.5*rng.Float64()),
+			rot:  rng.Float64() * math.Pi,
+			mass: mass,
+		}
+		totalMass += mass
+	}
+	objs := make([]geom.Object, n)
+	for i := range objs {
+		if rng.Float64() < bgFrac {
+			objs[i] = geom.Object{
+				Point: geom.Point{X: rng.Float64() * extent, Y: rng.Float64() * extent},
+				W:     1,
+			}
+			continue
+		}
+		// Pick a cluster proportional to mass.
+		pick := rng.Float64() * totalMass
+		var c cluster
+		for _, cl := range clusters {
+			pick -= cl.mass
+			c = cl
+			if pick <= 0 {
+				break
+			}
+		}
+		dx := rng.NormFloat64() * c.sx
+		dy := rng.NormFloat64() * c.sy
+		cos, sin := math.Cos(c.rot), math.Sin(c.rot)
+		objs[i] = geom.Object{
+			Point: geom.Point{
+				X: clamp(c.cx+dx*cos-dy*sin, 0, extent),
+				Y: clamp(c.cy+dx*sin+dy*cos, 0, extent),
+			},
+			W: 1,
+		}
+	}
+	return objs
+}
+
+// SyntheticUX is the stand-in for the UX (USA and Mexico) dataset:
+// 19,499 points, sparse, wide-area clusters over [0, 10⁶]².
+func SyntheticUX(seed int64) []geom.Object {
+	return clustered(seed, UXCardinality, 25, SpaceExtent, 0.08, 0.25)
+}
+
+// SyntheticNE is the stand-in for the NE (North East USA) dataset:
+// 123,593 points, dense, strongly clustered over [0, 10⁶]².
+func SyntheticNE(seed int64) []geom.Object {
+	return clustered(seed, NECardinality, 60, SpaceExtent, 0.03, 0.10)
+}
+
+// Write stores objects as a record file on the disk.
+func Write(d *em.Disk, objs []geom.Object) (*em.File, error) {
+	recs := make([]rec.Object, len(objs))
+	for i, o := range objs {
+		recs[i] = rec.FromGeom(o)
+	}
+	return em.WriteAll(d, rec.ObjectCodec{}, recs)
+}
+
+// Sample returns a deterministic subsample of k objects (or all of them if
+// k ≥ len(objs)), used by quality experiments whose oracle is superlinear.
+func Sample(seed int64, objs []geom.Object, k int) []geom.Object {
+	if k >= len(objs) {
+		return objs
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(objs))[:k]
+	out := make([]geom.Object, k)
+	for i, j := range idx {
+		out[i] = objs[j]
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"testing"
+
+	"maxrs/internal/em"
+	"maxrs/internal/rec"
+)
+
+func TestUniformDeterministicAndBounded(t *testing.T) {
+	a := Uniform(7, 1000, 500)
+	b := Uniform(7, 1000, 500)
+	if len(a) != 1000 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("not deterministic at %d", i)
+		}
+		if a[i].X < 0 || a[i].X > 500 || a[i].Y < 0 || a[i].Y > 500 {
+			t.Fatalf("out of bounds: %v", a[i].Point)
+		}
+		if a[i].W != 1 {
+			t.Fatalf("weight = %g", a[i].W)
+		}
+	}
+	c := Uniform(8, 1000, 500)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGaussianConcentration(t *testing.T) {
+	objs := Gaussian(3, 5000, 1000)
+	center := 0
+	for _, o := range objs {
+		if o.X < 0 || o.X > 1000 || o.Y < 0 || o.Y > 1000 {
+			t.Fatalf("out of bounds: %v", o.Point)
+		}
+		if o.X > 250 && o.X < 750 && o.Y > 250 && o.Y < 750 {
+			center++
+		}
+	}
+	// ±2σ box around the center must hold the bulk of the mass.
+	if frac := float64(center) / float64(len(objs)); frac < 0.85 {
+		t.Fatalf("only %.2f of Gaussian mass near center", frac)
+	}
+}
+
+func TestSyntheticRealCardinalities(t *testing.T) {
+	ux := SyntheticUX(1)
+	if len(ux) != UXCardinality {
+		t.Fatalf("UX cardinality = %d, want %d", len(ux), UXCardinality)
+	}
+	ne := SyntheticNE(1)
+	if len(ne) != NECardinality {
+		t.Fatalf("NE cardinality = %d, want %d", len(ne), NECardinality)
+	}
+	for _, o := range append(ux, ne...) {
+		if o.X < 0 || o.X > SpaceExtent || o.Y < 0 || o.Y > SpaceExtent {
+			t.Fatalf("out of bounds: %v", o.Point)
+		}
+	}
+}
+
+func TestSyntheticNEIsMoreClusteredThanUniform(t *testing.T) {
+	// Clustering proxy: peak grid-cell density. The clustered NE stand-in
+	// must have a far denser hottest cell than a uniform set of equal size.
+	peak := func(objsLen int, getter func(i int) (float64, float64)) int {
+		const g = 50
+		counts := make(map[[2]int]int)
+		best := 0
+		for i := 0; i < objsLen; i++ {
+			x, y := getter(i)
+			k := [2]int{int(x / (SpaceExtent / g)), int(y / (SpaceExtent / g))}
+			counts[k]++
+			if counts[k] > best {
+				best = counts[k]
+			}
+		}
+		return best
+	}
+	ne := SyntheticNE(2)
+	uni := Uniform(2, len(ne), SpaceExtent)
+	nePeak := peak(len(ne), func(i int) (float64, float64) { return ne[i].X, ne[i].Y })
+	uniPeak := peak(len(uni), func(i int) (float64, float64) { return uni[i].X, uni[i].Y })
+	if nePeak < 3*uniPeak {
+		t.Fatalf("NE peak density %d vs uniform %d — not clustered enough", nePeak, uniPeak)
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	d := em.MustNewDisk(4096)
+	objs := Uniform(5, 500, 1000)
+	f, err := Write(d, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := em.ReadAll(f, rec.ObjectCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(objs) {
+		t.Fatalf("len = %d, want %d", len(got), len(objs))
+	}
+	for i := range objs {
+		if got[i].Geom() != objs[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestSample(t *testing.T) {
+	objs := Uniform(9, 100, 100)
+	s := Sample(1, objs, 10)
+	if len(s) != 10 {
+		t.Fatalf("len = %d", len(s))
+	}
+	s2 := Sample(1, objs, 10)
+	for i := range s {
+		if s[i] != s2[i] {
+			t.Fatal("sample not deterministic")
+		}
+	}
+	if got := Sample(1, objs, 1000); len(got) != len(objs) {
+		t.Fatalf("oversample returned %d", len(got))
+	}
+	seen := make(map[[2]float64]int)
+	for _, o := range s {
+		seen[[2]float64{o.X, o.Y}]++
+	}
+	// Permutation-based: no duplicates beyond what the input contains.
+	for k, c := range seen {
+		if c > 1 {
+			t.Fatalf("duplicate sample %v", k)
+		}
+	}
+}

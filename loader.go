@@ -1,0 +1,78 @@
+package maxrs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"maxrs/internal/em"
+	"maxrs/internal/rec"
+)
+
+// LoadCSV streams objects from r directly onto the engine's disk without
+// materializing them in memory, so datasets far larger than RAM can be
+// loaded under an OnDisk engine. The format is one object per line,
+// "x,y[,weight]" (weight defaults to 1); blank lines and lines starting
+// with '#' are skipped.
+func (e *Engine) LoadCSV(r io.Reader) (*Dataset, error) {
+	f := em.NewFile(e.env.Disk)
+	w, err := em.NewRecordWriter(f, rec.ObjectCodec{})
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		o, err := parseObjectLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("maxrs: line %d: %w", lineNo, err)
+		}
+		if err := w.Write(o); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return &Dataset{file: f, n: n}, nil
+}
+
+func parseObjectLine(line string) (rec.Object, error) {
+	parts := strings.Split(line, ",")
+	if len(parts) < 2 || len(parts) > 3 {
+		return rec.Object{}, fmt.Errorf("want x,y[,weight], got %q", line)
+	}
+	x, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return rec.Object{}, fmt.Errorf("bad x: %w", err)
+	}
+	y, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return rec.Object{}, fmt.Errorf("bad y: %w", err)
+	}
+	wt := 1.0
+	if len(parts) == 3 {
+		wt, err = strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+		if err != nil {
+			return rec.Object{}, fmt.Errorf("bad weight: %w", err)
+		}
+	}
+	if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(wt) {
+		return rec.Object{}, fmt.Errorf("NaN value in %q", line)
+	}
+	return rec.Object{X: x, Y: y, W: wt}, nil
+}

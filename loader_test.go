@@ -1,0 +1,80 @@
+package maxrs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadCSV(t *testing.T) {
+	e, err := NewEngine(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := `# comment line
+1, 1
+2,2,5
+
+3,1,1
+`
+	d, err := e.LoadCSV(strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", d.Len())
+	}
+	res, err := e.MaxRS(d, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 7 { // 1 + 5 + 1, all within one 4x4 placement
+		t.Fatalf("score = %g, want 7", res.Score)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	e, err := NewEngine(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []string{
+		"1",       // too few fields
+		"1,2,3,4", // too many fields
+		"a,2",     // bad x
+		"1,b",     // bad y
+		"1,2,c",   // bad weight
+		"NaN,2",   // NaN coordinate
+	}
+	for _, c := range cases {
+		if _, err := e.LoadCSV(strings.NewReader(c)); err == nil {
+			t.Fatalf("LoadCSV(%q) should fail", c)
+		}
+	}
+}
+
+func TestLoadCSVMatchesLoad(t *testing.T) {
+	e, err := NewEngine(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := []Object{{X: 1, Y: 2, Weight: 3}, {X: 4, Y: 5, Weight: 6}}
+	d1, err := e.LoadCSV(strings.NewReader("1,2,3\n4,5,6\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := e.Load(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := e.MaxRS(d1, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.MaxRS(d2, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Score != r2.Score {
+		t.Fatalf("CSV load score %g != Load score %g", r1.Score, r2.Score)
+	}
+}

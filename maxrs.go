@@ -1,0 +1,327 @@
+// Package maxrs solves the Maximizing Range Sum (MaxRS) problem and its
+// circular variant (MaxCRS) at scale, reproducing the algorithms of
+//
+//	D.-W. Choi, C.-W. Chung, Y. Tao:
+//	"A Scalable Algorithm for Maximizing Range Sum in Spatial Databases",
+//	PVLDB 5(11), 2012.
+//
+// Given a set of weighted points and a rectangle of a fixed size d1×d2,
+// MaxRS asks for the center location maximizing the total weight of the
+// points the rectangle covers. MaxCRS asks the same for a circle of a
+// fixed diameter. Typical uses: placing a store with a fixed delivery
+// range over customer locations, or finding the spot of a city with the
+// most attractions in walking distance.
+//
+// # Quick start
+//
+//	objs := []maxrs.Object{{X: 1, Y: 1, Weight: 1}, {X: 2, Y: 2, Weight: 1}}
+//	res, err := maxrs.MaxRS(objs, 4, 4, nil)
+//	// res.Location is an optimal center; res.Score the covered weight.
+//
+// # Algorithms
+//
+// The default solver is ExactMaxRS, the paper's I/O-optimal
+// external-memory distribution sweep — it runs in O((N/B) log_{M/B}(N/B))
+// block transfers under the configured EM model and handles datasets far
+// larger than the memory budget. The two baselines of the paper's
+// evaluation (NaiveSweep, ASBTree) and a plain in-memory solver are also
+// available for comparison via Options.Algorithm.
+//
+// All computation runs against a simulated block device that counts
+// transfers; Engine.Stats exposes the I/O cost exactly as the paper
+// measures it.
+package maxrs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"maxrs/internal/baseline"
+	"maxrs/internal/core"
+	"maxrs/internal/em"
+	"maxrs/internal/geom"
+	"maxrs/internal/rec"
+	"maxrs/internal/sweep"
+)
+
+// Object is a weighted point of the input set O.
+type Object struct {
+	X, Y   float64
+	Weight float64
+}
+
+// Point is a location in the data space.
+type Point struct {
+	X, Y float64
+}
+
+// Rect is an axis-aligned region of optimal locations, half-open on its
+// max edges. Infinite bounds mean the optimum extends indefinitely in
+// that direction (possible only for degenerate inputs).
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Contains reports whether p lies in the region.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X < r.MaxX && p.Y >= r.MinY && p.Y < r.MaxY
+}
+
+// Result is a solved MaxRS/MaxCRS instance.
+type Result struct {
+	// Location is an optimal center position.
+	Location Point
+	// Score is the total covered weight at Location.
+	Score float64
+	// Region is the full set of optimal center positions (for MaxRS).
+	// Every point of Region attains Score.
+	Region Rect
+}
+
+// Algorithm selects the solver implementation.
+type Algorithm int
+
+// Available algorithms.
+const (
+	// ExactMaxRS is the paper's I/O-optimal external algorithm (§5).
+	ExactMaxRS Algorithm = iota
+	// NaiveSweep is the externalized naive plane sweep baseline (§7.1).
+	NaiveSweep
+	// ASBTree is the aggregate SB-tree plane sweep baseline (§7.1).
+	ASBTree
+	// InMemory is the RAM-model plane sweep of Imai–Asano (§4); it
+	// ignores the EM budget and is intended for small inputs and tests.
+	InMemory
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case ExactMaxRS:
+		return "ExactMaxRS"
+	case NaiveSweep:
+		return "NaiveSweep"
+	case ASBTree:
+		return "aSB-Tree"
+	case InMemory:
+		return "InMemory"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options configures an Engine. The zero value (and nil) selects the
+// paper's defaults: 4 KB blocks, 1 MB memory, ExactMaxRS.
+type Options struct {
+	// BlockSize is the EM-model block size B in bytes (default 4096,
+	// Table 3).
+	BlockSize int
+	// Memory is the EM-model memory budget M in bytes (default 1 MiB,
+	// the paper's synthetic-data default buffer).
+	Memory int
+	// Algorithm selects the solver (default ExactMaxRS).
+	Algorithm Algorithm
+	// Fanout overrides the recursion fan-in m of ExactMaxRS (0 = the
+	// paper's Θ(M/B)); exposed for ablation studies.
+	Fanout int
+	// OnDisk stores blocks in a temporary OS file under OnDiskDir
+	// (default: the system temp directory) instead of process memory, so
+	// datasets larger than RAM work too. Call Engine.Close to remove the
+	// backing file. Transfer accounting is identical either way.
+	OnDisk    bool
+	OnDiskDir string
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{}
+	if o != nil {
+		out = *o
+	}
+	if out.BlockSize == 0 {
+		out.BlockSize = 4096
+	}
+	if out.Memory == 0 {
+		out.Memory = 1 << 20
+	}
+	return out
+}
+
+// IOStats reports block transfers on the engine's simulated disk.
+type IOStats struct {
+	Reads, Writes uint64
+}
+
+// Total returns Reads + Writes — the paper's I/O cost metric.
+func (s IOStats) Total() uint64 { return s.Reads + s.Writes }
+
+// Engine owns an EM environment (simulated disk + memory budget) and
+// solves MaxRS/MaxCRS instances on datasets stored on that disk.
+// An Engine is not safe for concurrent use.
+type Engine struct {
+	opts   Options
+	env    em.Env
+	solver *core.Solver
+}
+
+// NewEngine validates opts and returns an Engine.
+func NewEngine(opts *Options) (*Engine, error) {
+	o := opts.withDefaults()
+	var (
+		env em.Env
+		err error
+	)
+	if o.OnDisk {
+		var d *em.Disk
+		d, err = em.NewFileBackedDisk(o.OnDiskDir, o.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		env = em.Env{Disk: d, M: o.Memory}
+		if err = env.Validate(); err != nil {
+			_ = d.Close()
+			return nil, err
+		}
+	} else {
+		env, err = em.NewEnv(o.BlockSize, o.Memory)
+		if err != nil {
+			return nil, err
+		}
+	}
+	solver, err := core.NewSolver(env, core.Config{Fanout: o.Fanout})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{opts: o, env: env, solver: solver}, nil
+}
+
+// Close releases the engine's storage (removes the backing file of an
+// OnDisk engine). The engine and its datasets must not be used afterwards.
+func (e *Engine) Close() error { return e.env.Disk.Close() }
+
+// Dataset is a point set stored on the engine's disk.
+type Dataset struct {
+	file *em.File
+	n    int
+}
+
+// Len returns the number of objects in the dataset.
+func (d *Dataset) Len() int { return d.n }
+
+// Blocks returns the number of disk blocks the dataset occupies.
+func (d *Dataset) Blocks() int { return d.file.Blocks() }
+
+// Release frees the dataset's disk blocks.
+func (d *Dataset) Release() error { return d.file.Release() }
+
+// Load writes objects to the engine's disk and returns the Dataset.
+// Loading is charged to the engine's I/O statistics; call ResetStats
+// afterwards to measure a query in isolation.
+func (e *Engine) Load(objs []Object) (*Dataset, error) {
+	f := em.NewFile(e.env.Disk)
+	w, err := em.NewRecordWriter(f, rec.ObjectCodec{})
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range objs {
+		if math.IsNaN(o.X) || math.IsNaN(o.Y) || math.IsNaN(o.Weight) {
+			return nil, fmt.Errorf("maxrs: NaN in object %+v", o)
+		}
+		if err := w.Write(rec.Object{X: o.X, Y: o.Y, W: o.Weight}); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return &Dataset{file: f, n: len(objs)}, nil
+}
+
+// Stats returns the engine's accumulated block-transfer counts.
+func (e *Engine) Stats() IOStats {
+	s := e.env.Disk.Stats()
+	return IOStats{Reads: s.Reads, Writes: s.Writes}
+}
+
+// ResetStats zeroes the transfer counters.
+func (e *Engine) ResetStats() { e.env.Disk.ResetStats() }
+
+// MaxRS finds a center location for a w×h rectangle maximizing the total
+// covered weight of the dataset.
+func (e *Engine) MaxRS(d *Dataset, w, h float64) (Result, error) {
+	if err := checkQuery(w, h); err != nil {
+		return Result{}, err
+	}
+	var (
+		res sweep.Result
+		err error
+	)
+	switch e.opts.Algorithm {
+	case ExactMaxRS:
+		res, err = e.solver.SolveObjects(d.file, w, h)
+	case NaiveSweep:
+		res, err = baseline.NaiveSweep(e.env, d.file, w, h)
+	case ASBTree:
+		res, err = baseline.ASBTreeSweep(e.env, d.file, w, h)
+	case InMemory:
+		var objs []geom.Object
+		objs, err = readObjects(d)
+		if err == nil {
+			res = sweep.MaxRS(objs, w, h)
+		}
+	default:
+		err = fmt.Errorf("maxrs: unknown algorithm %v", e.opts.Algorithm)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return fromSweep(res), nil
+}
+
+func checkQuery(w, h float64) error {
+	if !(w > 0) || !(h > 0) || math.IsInf(w, 0) || math.IsInf(h, 0) {
+		return fmt.Errorf("maxrs: query size %gx%g must be positive and finite", w, h)
+	}
+	return nil
+}
+
+func readObjects(d *Dataset) ([]geom.Object, error) {
+	recs, err := em.ReadAll(d.file, rec.ObjectCodec{})
+	if err != nil {
+		return nil, err
+	}
+	objs := make([]geom.Object, len(recs))
+	for i, r := range recs {
+		objs[i] = r.Geom()
+	}
+	return objs, nil
+}
+
+func fromSweep(res sweep.Result) Result {
+	best := res.Best()
+	return Result{
+		Location: Point{X: best.X, Y: best.Y},
+		Score:    res.Sum,
+		Region: Rect{
+			MinX: res.Region.X.Lo, MaxX: res.Region.X.Hi,
+			MinY: res.Region.Y.Lo, MaxY: res.Region.Y.Hi,
+		},
+	}
+}
+
+// MaxRS is the one-shot convenience form: it builds a default engine
+// (paper-default EM parameters, or opts), loads objs, and solves.
+func MaxRS(objs []Object, w, h float64, opts *Options) (Result, error) {
+	e, err := NewEngine(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	d, err := e.Load(objs)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.MaxRS(d, w, h)
+}
+
+// ErrEmptyDataset is returned by queries that need at least one object.
+var ErrEmptyDataset = errors.New("maxrs: empty dataset")

@@ -1,0 +1,318 @@
+package maxrs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func cluster(cx, cy float64, n int, w float64) []Object {
+	objs := make([]Object, n)
+	for i := range objs {
+		objs[i] = Object{X: cx + float64(i%3), Y: cy + float64(i/3), Weight: w}
+	}
+	return objs
+}
+
+func TestMaxRSQuickstart(t *testing.T) {
+	objs := append(cluster(10, 10, 6, 1), cluster(100, 100, 3, 1)...)
+	res, err := MaxRS(objs, 5, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 6 {
+		t.Fatalf("score = %g, want 6", res.Score)
+	}
+	if !res.Region.Contains(res.Location) {
+		t.Fatalf("location %v outside region %+v", res.Location, res.Region)
+	}
+}
+
+func TestMaxRSValidation(t *testing.T) {
+	objs := []Object{{X: 1, Y: 1, Weight: 1}}
+	if _, err := MaxRS(objs, 0, 5, nil); err == nil {
+		t.Fatal("zero width must fail")
+	}
+	if _, err := MaxRS(objs, 5, math.Inf(1), nil); err == nil {
+		t.Fatal("infinite height must fail")
+	}
+	if _, err := MaxRS([]Object{{X: math.NaN(), Y: 0, Weight: 1}}, 5, 5, nil); err == nil {
+		t.Fatal("NaN coordinates must fail")
+	}
+	if _, err := NewEngine(&Options{BlockSize: 100, Memory: 100}); err == nil {
+		t.Fatal("M < 2B must fail")
+	}
+}
+
+func TestEngineStatsAndReuse(t *testing.T) {
+	e, err := NewEngine(&Options{BlockSize: 512, Memory: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	objs := make([]Object, 2000)
+	for i := range objs {
+		objs[i] = Object{X: math.Floor(rng.Float64() * 8000), Y: math.Floor(rng.Float64() * 8000), Weight: 1}
+	}
+	d, err := e.Load(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2000 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	e.ResetStats()
+	if got := e.Stats().Total(); got != 0 {
+		t.Fatalf("stats after reset = %d", got)
+	}
+	r1, err := e.MaxRS(d, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io1 := e.Stats().Total()
+	if io1 == 0 {
+		t.Fatal("ExactMaxRS on an out-of-core dataset reported zero I/O")
+	}
+	// The dataset is reusable: a second identical query gives the same answer.
+	r2, err := e.MaxRS(d, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Score != r2.Score {
+		t.Fatalf("repeat query changed score: %g vs %g", r1.Score, r2.Score)
+	}
+}
+
+func TestAlgorithmsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	objs := make([]Object, 400)
+	for i := range objs {
+		objs[i] = Object{
+			X:      math.Floor(rng.Float64() * 300),
+			Y:      math.Floor(rng.Float64() * 300),
+			Weight: float64(rng.Intn(4) + 1),
+		}
+	}
+	var scores []float64
+	for _, alg := range []Algorithm{ExactMaxRS, NaiveSweep, ASBTree, InMemory} {
+		e, err := NewEngine(&Options{BlockSize: 256, Memory: 4096, Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := e.Load(objs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.MaxRS(d, 20, 20)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		scores = append(scores, res.Score)
+	}
+	for i := 1; i < len(scores); i++ {
+		if scores[i] != scores[0] {
+			t.Fatalf("algorithm disagreement: %v", scores)
+		}
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	cases := map[Algorithm]string{
+		ExactMaxRS:    "ExactMaxRS",
+		NaiveSweep:    "NaiveSweep",
+		ASBTree:       "aSB-Tree",
+		InMemory:      "InMemory",
+		Algorithm(99): "Algorithm(99)",
+	}
+	for a, want := range cases {
+		if a.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(a), a.String(), want)
+		}
+	}
+}
+
+func TestMaxCRS(t *testing.T) {
+	objs := append(cluster(50, 50, 5, 1), Object{X: 500, Y: 500, Weight: 1})
+	res, err := MaxCRS(objs, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LowerBoundRatio != 0.25 {
+		t.Fatalf("bound = %g", res.LowerBoundRatio)
+	}
+	exact, err := MaxCRSExact(objs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.LowerBoundRatio != 1 {
+		t.Fatalf("exact bound = %g", exact.LowerBoundRatio)
+	}
+	if res.Score > exact.Score {
+		t.Fatalf("approx %g exceeds exact %g", res.Score, exact.Score)
+	}
+	if 4*res.Score < exact.Score {
+		t.Fatalf("approx %g violates 1/4 bound of %g", res.Score, exact.Score)
+	}
+	if _, err := MaxCRS(objs, -1, nil); err == nil {
+		t.Fatal("negative diameter must fail")
+	}
+	if _, err := MaxCRSExact(objs, 0); err == nil {
+		t.Fatal("zero diameter must fail")
+	}
+	if _, err := MaxCRSExact([]Object{{Weight: -1}}, 5); err == nil {
+		t.Fatal("negative weights must fail in exact solver")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	objs := append(cluster(10, 10, 6, 1), cluster(200, 200, 4, 1)...)
+	objs = append(objs, cluster(400, 10, 2, 1)...)
+	e, err := NewEngine(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := e.Load(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := e.TopK(d, 6, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	wantScores := []float64{6, 4, 2}
+	for i, r := range results {
+		if r.Score != wantScores[i] {
+			t.Fatalf("result %d score = %g, want %g", i, r.Score, wantScores[i])
+		}
+	}
+	// k larger than available clusters: stops early.
+	results, err = e.TopK(d, 6, 6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3 (early stop)", len(results))
+	}
+	if _, err := e.TopK(d, 6, 6, 0); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+}
+
+func TestMinRS(t *testing.T) {
+	e, err := NewEngine(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense field with one sparse corner: minimum is 0 (empty placement).
+	var objs []Object
+	for i := 0; i < 20; i++ {
+		objs = append(objs, Object{X: float64(i * 3), Y: 0, Weight: 2})
+	}
+	d, err := e.Load(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.MinRS(d, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 0 {
+		t.Fatalf("MinRS score = %g, want 0 (an empty spot exists)", res.Score)
+	}
+}
+
+func TestCountRS(t *testing.T) {
+	e, err := NewEngine(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two heavy objects vs three light ones: SUM prefers the heavy pair,
+	// COUNT the triple.
+	objs := []Object{
+		{X: 0, Y: 0, Weight: 100},
+		{X: 1, Y: 0, Weight: 100},
+		{X: 50, Y: 50, Weight: 1},
+		{X: 51, Y: 50, Weight: 1},
+		{X: 50, Y: 51, Weight: 1},
+	}
+	d, err := e.Load(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := e.MaxRS(d, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Score != 200 {
+		t.Fatalf("SUM score = %g, want 200", sum.Score)
+	}
+	count, err := e.CountRS(d, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Score != 3 {
+		t.Fatalf("COUNT score = %g, want 3", count.Score)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	if !r.Contains(Point{X: 0, Y: 0}) {
+		t.Fatal("min corner must be contained")
+	}
+	if r.Contains(Point{X: 10, Y: 5}) {
+		t.Fatal("max edge must be excluded")
+	}
+}
+
+func TestOnDiskEngine(t *testing.T) {
+	e, err := NewEngine(&Options{
+		BlockSize: 512,
+		Memory:    8192,
+		OnDisk:    true,
+		OnDiskDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	rng := rand.New(rand.NewSource(6))
+	objs := make([]Object, 1500)
+	for i := range objs {
+		objs[i] = Object{X: math.Floor(rng.Float64() * 6000), Y: math.Floor(rng.Float64() * 6000), Weight: 1}
+	}
+	d, err := e.Load(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.MaxRS(d, 200, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check against the default in-memory-backed engine.
+	e2, err := NewEngine(&Options{BlockSize: 512, Memory: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := e2.Load(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e2.MaxRS(d2, 200, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Score != want.Score {
+		t.Fatalf("on-disk engine score %g, in-memory %g", got.Score, want.Score)
+	}
+}
+
+func TestOnDiskEngineValidation(t *testing.T) {
+	// Invalid memory with OnDisk must clean up the backing file.
+	if _, err := NewEngine(&Options{BlockSize: 4096, Memory: 4096, OnDisk: true}); err == nil {
+		t.Fatal("M < 2B must fail for on-disk engines too")
+	}
+}
