@@ -135,6 +135,53 @@ func BenchmarkNaiveSweep(b *testing.B) { benchAlgo(b, NaiveSweep) }
 func BenchmarkASBTree(b *testing.B)    { benchAlgo(b, ASBTree) }
 func BenchmarkInMemory(b *testing.B)   { benchAlgo(b, InMemory) }
 
+// BenchmarkParallelExactMaxRS runs the BenchmarkExactMaxRS workload at
+// several Parallelism values (DESIGN.md §6). io/op must be identical at
+// every p — the transfer schedule does not depend on the worker count —
+// while ns/op drops toward 1/min(p, cores); the sub-benches assert the
+// io/op half of that contract against the p=1 baseline.
+func BenchmarkParallelExactMaxRS(b *testing.B) {
+	const n = 12_500
+	pts := workload.Uniform(2012, n, 4*float64(n))
+	objs := make([]Object, len(pts))
+	for i, p := range pts {
+		objs[i] = Object{X: p.X, Y: p.Y, Weight: p.W}
+	}
+	queryEdge := 4 * float64(n) / 1000
+	var baseIO uint64 // io/op at p=1; 0 when that sub-bench was filtered out
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			var io uint64
+			for i := 0; i < b.N; i++ {
+				e, err := NewEngine(&Options{
+					BlockSize:   4096,
+					Memory:      52 * 1024,
+					Algorithm:   ExactMaxRS,
+					Parallelism: p,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				d, err := e.Load(objs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e.ResetStats()
+				if _, err := e.MaxRS(d, queryEdge, queryEdge); err != nil {
+					b.Fatal(err)
+				}
+				io = e.Stats().Total()
+			}
+			if p == 1 {
+				baseIO = io
+			} else if baseIO != 0 && io != baseIO {
+				b.Fatalf("p=%d: io/op %d != p=1 io/op %d", p, io, baseIO)
+			}
+			b.ReportMetric(float64(io), "io/op")
+		})
+	}
+}
+
 // --- Ablations (DESIGN.md §5) ---
 
 // BenchmarkAblationFanout sweeps the recursion fan-in m of ExactMaxRS,

@@ -7,12 +7,17 @@
 //	maxrsbench -exp=all                 # everything, paper scale
 //	maxrsbench -exp=fig12 -scale=0.1    # one figure at 10% cardinality
 //	maxrsbench -exp=fig13,fig17
+//	maxrsbench -exp=all -parallel=8     # panel points on 8 goroutines
+//	maxrsbench -exp=fig12 -json=BENCH_fig12.json
 //
 // At -scale below 1 the buffer sizes shrink with the data (-bufscale
 // defaults to -scale) so the baselines stay on their external paths.
+// Measured transfer counts are identical at every -parallel value; the
+// flag trades wall-clock time only (DESIGN.md §6).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +27,25 @@ import (
 	"maxrs/internal/experiments"
 )
 
+// jsonExperiment is one experiment's entry in the -json summary.
+type jsonExperiment struct {
+	Name      string               `json:"name"`
+	ElapsedMS int64                `json:"elapsed_ms"`
+	Series    []experiments.Series `json:"series,omitempty"`
+}
+
+// jsonSummary is the BENCH_*.json payload: enough to track the perf and
+// I/O trajectory across revisions without re-parsing the text tables.
+type jsonSummary struct {
+	Bench       string           `json:"bench"`
+	Scale       float64          `json:"scale"`
+	BufScale    float64          `json:"bufscale"`
+	Seed        int64            `json:"seed"`
+	Parallelism int              `json:"parallelism"`
+	TotalMS     int64            `json:"total_ms"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
 func main() {
 	var (
 		exp       = flag.String("exp", "all", "comma-separated: table2,table3,fig12,fig13,fig14,fig15,fig16,fig17,all")
@@ -29,16 +53,23 @@ func main() {
 		bufscale  = flag.Float64("bufscale", 0, "buffer scale factor (default: same as -scale)")
 		seed      = flag.Int64("seed", 2012, "data generation seed")
 		oracleCap = flag.Int("oraclecap", 50000, "max points fed to the exact MaxCRS oracle (fig17)")
+		parallel  = flag.Int("parallel", 0, "worker goroutines for panel points and the solver (0 = GOMAXPROCS, 1 = sequential)")
+		jsonPath  = flag.String("json", "", "also write a BENCH_*.json summary to this path")
 	)
 	flag.Parse()
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "maxrsbench: -parallel=%d must be ≥ 0 (0 = GOMAXPROCS)\n", *parallel)
+		os.Exit(2)
+	}
 	if *bufscale == 0 {
 		*bufscale = *scale
 	}
 	cfg := experiments.Config{
-		Scale:     *scale,
-		BufScale:  *bufscale,
-		Seed:      *seed,
-		OracleCap: *oracleCap,
+		Scale:       *scale,
+		BufScale:    *bufscale,
+		Seed:        *seed,
+		OracleCap:   *oracleCap,
+		Parallelism: *parallel,
 	}
 
 	want := map[string]bool{}
@@ -46,31 +77,47 @@ func main() {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
 	}
 	all := want["all"]
-	run := func(name string, fn func() error) {
+	summary := jsonSummary{
+		Bench:       "maxrsbench",
+		Scale:       *scale,
+		BufScale:    *bufscale,
+		Seed:        *seed,
+		Parallelism: *parallel,
+	}
+	started := time.Now()
+	run := func(name string, fn func() ([]experiments.Series, error)) {
 		if !all && !want[name] {
 			return
 		}
 		start := time.Now()
-		if err := fn(); err != nil {
+		series, err := fn()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		fmt.Printf("[%s done in %v]\n\n", name, elapsed.Round(time.Millisecond))
+		summary.Experiments = append(summary.Experiments, jsonExperiment{
+			Name:      name,
+			ElapsedMS: elapsed.Milliseconds(),
+			Series:    series,
+		})
 	}
 
-	fmt.Printf("maxrsbench: scale=%g bufscale=%g seed=%d\n\n", *scale, *bufscale, *seed)
-	run("table2", func() error { experiments.Table2(os.Stdout, cfg); return nil })
-	run("table3", func() error { experiments.Table3(os.Stdout); return nil })
-	multi := func(fn func(experiments.Config) ([]experiments.Series, error)) func() error {
-		return func() error {
+	fmt.Printf("maxrsbench: scale=%g bufscale=%g seed=%d parallel=%d\n\n",
+		*scale, *bufscale, *seed, *parallel)
+	run("table2", func() ([]experiments.Series, error) { experiments.Table2(os.Stdout, cfg); return nil, nil })
+	run("table3", func() ([]experiments.Series, error) { experiments.Table3(os.Stdout); return nil, nil })
+	multi := func(fn func(experiments.Config) ([]experiments.Series, error)) func() ([]experiments.Series, error) {
+		return func() ([]experiments.Series, error) {
 			series, err := fn(cfg)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			for _, s := range series {
 				experiments.Render(os.Stdout, s)
 			}
-			return nil
+			return series, nil
 		}
 	}
 	run("fig12", multi(experiments.Fig12))
@@ -78,12 +125,26 @@ func main() {
 	run("fig14", multi(experiments.Fig14))
 	run("fig15", multi(experiments.Fig15))
 	run("fig16", multi(experiments.Fig16))
-	run("fig17", func() error {
+	run("fig17", func() ([]experiments.Series, error) {
 		s, err := experiments.Fig17(cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		experiments.Render(os.Stdout, s)
-		return nil
+		return []experiments.Series{s}, nil
 	})
+
+	if *jsonPath != "" {
+		summary.TotalMS = time.Since(started).Milliseconds()
+		data, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[json summary written to %s]\n", *jsonPath)
+	}
 }

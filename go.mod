@@ -1,0 +1,3 @@
+module maxrs
+
+go 1.24

@@ -1,0 +1,47 @@
+// Package conc holds the one concurrency shape the parallel pipeline
+// (DESIGN.md §6) keeps needing: run n independent indexed jobs on a
+// bounded worker pool, deterministically collecting the first error by
+// index. Results are the caller's business — jobs write into their own
+// cell of a pre-sized slice, which is what keeps parallel output identical
+// to sequential output.
+package conc
+
+import "sync"
+
+// ForEachIndexed runs fn(i) for every i in [0, n) on up to par goroutines
+// (par ≤ 1 runs inline) and returns the lowest-index error, so the
+// reported failure does not depend on scheduling.
+func ForEachIndexed(n, par int, fn func(i int) error) error {
+	if par > n {
+		par = n
+	}
+	errs := make([]error, n)
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -40,6 +40,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
+	"sync"
 
 	"maxrs/internal/em"
 	"maxrs/internal/extsort"
@@ -53,6 +55,14 @@ import (
 // a logic bug into an error instead of a hang.
 const maxDepth = 200
 
+// eventBatch and edgeBatch size the record batches of streaming read loops
+// — roughly a block's worth, so the per-record reader round-trip is
+// amortized without materially denting the M budget.
+const (
+	eventBatch = 128
+	edgeBatch  = 512
+)
+
 // ErrNoProgress reports that a recursion step failed to shrink a
 // sub-problem — impossible for valid inputs, kept as a tripwire.
 var ErrNoProgress = errors.New("core: division made no progress")
@@ -63,12 +73,28 @@ type Config struct {
 	// 0 selects the paper's m = Θ(M/B) (all memory blocks minus the
 	// reader and spanning-writer buffers). Used by ablation benches.
 	Fanout int
+
+	// Parallelism bounds the worker goroutines used to solve independent
+	// child slabs, form sort runs, and merge independent run groups
+	// (DESIGN.md §6). 0 selects GOMAXPROCS; 1 is fully sequential
+	// execution. The result and the counted block transfers are identical
+	// for every value — the divide-and-conquer sub-problems are
+	// independent and the transfer tally is order-free — so this knob
+	// trades wall-clock time only.
+	Parallelism int
 }
 
 // Solver runs ExactMaxRS instances under one EM environment.
 type Solver struct {
 	env em.Env
 	cfg Config
+	par int // resolved Parallelism (≥ 1)
+
+	// sem holds the par−1 extra worker slots of one solver (the calling
+	// goroutine is the implicit first worker). Acquisition never blocks:
+	// when no slot is free the child is solved inline, which both bounds
+	// concurrency and makes recursive fan-out deadlock-free.
+	sem chan struct{}
 }
 
 // NewSolver validates the environment and returns a Solver.
@@ -79,8 +105,28 @@ func NewSolver(env em.Env, cfg Config) (*Solver, error) {
 	if cfg.Fanout == 1 || cfg.Fanout < 0 {
 		return nil, fmt.Errorf("core: fanout %d must be 0 (auto) or ≥ 2", cfg.Fanout)
 	}
-	return &Solver{env: env, cfg: cfg}, nil
+	if cfg.Parallelism < 0 {
+		return nil, fmt.Errorf("core: parallelism %d must be ≥ 0", cfg.Parallelism)
+	}
+	par := cfg.Parallelism
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	return &Solver{env: env, cfg: cfg, par: par, sem: make(chan struct{}, par-1)}, nil
 }
+
+// tryAcquire claims a worker slot without blocking.
+func (s *Solver) tryAcquire() bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// release returns a worker slot claimed by tryAcquire.
+func (s *Solver) release() { <-s.sem }
 
 // Env returns the solver's EM environment.
 func (s *Solver) Env() em.Env { return s.env }
@@ -169,16 +215,16 @@ func (s *Solver) solveTransformed(events, edges *em.File, count int64) (sweep.Re
 // slabFileOf sorts the freshly built input files and runs the recursion,
 // returning the final whole-space slab file. Input files are consumed.
 func (s *Solver) slabFileOf(events, edges *em.File, count int64) (*em.File, error) {
-	sortedEvents, err := extsort.Sort(s.env, events, rec.PieceEventCodec{},
-		func(a, b rec.PieceEvent) bool { return a.Y() < b.Y() })
+	sortedEvents, err := extsort.SortP(s.env, events, rec.PieceEventCodec{},
+		func(a, b rec.PieceEvent) bool { return a.Y() < b.Y() }, s.par)
 	if err != nil {
 		return nil, err
 	}
 	if err := events.Release(); err != nil {
 		return nil, err
 	}
-	sortedEdges, err := extsort.Sort(s.env, edges, rec.Float64Codec{},
-		func(a, b float64) bool { return a < b })
+	sortedEdges, err := extsort.SortP(s.env, edges, rec.Float64Codec{},
+		func(a, b float64) bool { return a < b }, s.par)
 	if err != nil {
 		return nil, err
 	}
@@ -275,16 +321,37 @@ func (s *Solver) solve(n node, depth int) (*em.File, error) {
 	if err := n.edges.Release(); err != nil {
 		return nil, err
 	}
-	slabFiles := make([]*em.File, len(children))
+	// The progress tripwire runs for every child before any is solved:
+	// returning mid-spawn would orphan goroutines still using the disk.
 	for i, c := range children {
 		if c.count >= n.count {
 			return nil, fmt.Errorf("%w: child %d kept all %d events", ErrNoProgress, i, n.count)
 		}
-		sf, err := s.solve(c, depth+1)
+	}
+	// Child slabs are fully independent sub-problems (they share only the
+	// concurrency-safe Disk), so they run on the solver's worker pool. A
+	// free slot spawns a goroutine; otherwise the child is solved inline —
+	// Parallelism=1 reproduces the sequential schedule exactly.
+	slabFiles := make([]*em.File, len(children))
+	childErrs := make([]error, len(children))
+	var wg sync.WaitGroup
+	for i, c := range children {
+		if s.tryAcquire() {
+			wg.Add(1)
+			go func(i int, c node) {
+				defer wg.Done()
+				defer s.release()
+				slabFiles[i], childErrs[i] = s.solve(c, depth+1)
+			}(i, c)
+		} else {
+			slabFiles[i], childErrs[i] = s.solve(c, depth+1)
+		}
+	}
+	wg.Wait()
+	for _, err := range childErrs {
 		if err != nil {
 			return nil, err
 		}
-		slabFiles[i] = sf
 	}
 	out, err := s.mergeSweep(slabFiles, spanning, bounds, n.slab)
 	if err != nil {
@@ -309,18 +376,21 @@ func (s *Solver) baseCase(n node) (*em.File, error) {
 		return nil, err
 	}
 	rects := make([]rec.WRect, 0, n.count/2)
+	batch := make([]rec.PieceEvent, eventBatch)
 	for {
-		e, err := rr.Read()
+		k, err := rr.ReadBatch(batch)
+		for _, e := range batch[:k] {
+			if e.Top {
+				continue // the bottom event carries the full geometry
+			}
+			rects = append(rects, e.R)
+		}
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				break
 			}
 			return nil, err
 		}
-		if e.Top {
-			continue // the bottom event carries the full geometry
-		}
-		rects = append(rects, e.R)
 	}
 	tuples := sweep.Slab(rects, n.slab)
 	out := em.NewFile(s.env.Disk)
@@ -328,10 +398,8 @@ func (s *Solver) baseCase(n node) (*em.File, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, t := range tuples {
-		if err := tw.Write(t); err != nil {
-			return nil, err
-		}
+	if err := tw.WriteBatch(tuples); err != nil {
+		return nil, err
 	}
 	if err := tw.Close(); err != nil {
 		return nil, err

@@ -41,26 +41,33 @@ func (s *Solver) chooseBounds(n node) ([]float64, error) {
 	nextRank := step
 	var minInterior, maxInterior float64
 	haveInterior := false
-	for i := int64(0); i < total; i++ {
-		v, err := rr.Read()
-		if err != nil {
+	batch := make([]float64, edgeBatch)
+	for i := int64(0); i < total; {
+		k, err := rr.ReadBatch(batch)
+		if err != nil && !errors.Is(err, io.EOF) {
 			return nil, err
 		}
-		interior := v > n.slab.Lo && v < n.slab.Hi && !math.IsInf(v, 0)
-		if interior {
-			if !haveInterior {
-				minInterior, maxInterior, haveInterior = v, v, true
-			} else {
-				maxInterior = v
-			}
+		if k == 0 {
+			return nil, fmt.Errorf("core: edge file ended at %d of %d values", i, total)
 		}
-		if i+1 == nextRank {
-			nextRank += step
-			if !interior {
-				continue
+		for _, v := range batch[:k] {
+			i++
+			interior := v > n.slab.Lo && v < n.slab.Hi && !math.IsInf(v, 0)
+			if interior {
+				if !haveInterior {
+					minInterior, maxInterior, haveInterior = v, v, true
+				} else {
+					maxInterior = v
+				}
 			}
-			if len(bounds) == 0 || v > bounds[len(bounds)-1] {
-				bounds = append(bounds, v)
+			if i == nextRank {
+				nextRank += step
+				if !interior {
+					continue
+				}
+				if len(bounds) == 0 || v > bounds[len(bounds)-1] {
+					bounds = append(bounds, v)
+				}
 			}
 		}
 	}
@@ -144,14 +151,25 @@ func (s *Solver) route(n node, bounds []float64) ([]node, *em.File, error) {
 		counts[i]++
 		return eventWriters[i].Write(e)
 	}
+	batch := make([]rec.PieceEvent, eventBatch)
+	k, bi := 0, 0
+	var batchErr error
 	for {
-		e, err := rr.Read()
-		if err != nil {
-			if errors.Is(err, io.EOF) {
-				break
+		if bi == k {
+			if batchErr != nil {
+				if errors.Is(batchErr, io.EOF) {
+					break
+				}
+				return nil, nil, batchErr
 			}
-			return nil, nil, err
+			k, batchErr = rr.ReadBatch(batch)
+			bi = 0
+			if k == 0 {
+				continue
+			}
 		}
+		e := batch[bi]
+		bi++
 		x1, x2 := e.R.X1, e.R.X2
 		i := childOfPoint(bounds, x1)
 		j := childOfSup(bounds, x2)
@@ -247,16 +265,19 @@ func (s *Solver) splitEdges(n node, bounds []float64, nLow, nHigh []int64) ([]*e
 	if err != nil {
 		return nil, err
 	}
+	batch := make([]float64, edgeBatch)
 	for {
-		v, err := rr.Read()
+		k, err := rr.ReadBatch(batch)
+		for _, v := range batch[:k] {
+			i := childOfPoint(bounds, v)
+			if err := writers[i].Write(v); err != nil {
+				return nil, err
+			}
+		}
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				break
 			}
-			return nil, err
-		}
-		i := childOfPoint(bounds, v)
-		if err := writers[i].Write(v); err != nil {
 			return nil, err
 		}
 	}

@@ -3,12 +3,17 @@ package em
 import (
 	"fmt"
 	"os"
+	"sync"
 )
 
 // backend is the physical storage under a Disk. The default is in-process
 // memory (fast, hermetic — the transfer counters are the measurement, per
 // §7.1); a file backend stores blocks in a real OS file so the simulator
 // can also run genuinely out of core.
+//
+// Concurrency contract: grow is only called with the Disk's write lock
+// held; read and write are called with its read lock held and so may run
+// concurrently with each other (on distinct blocks) but never with grow.
 type backend interface {
 	read(id BlockID, dst []byte) error
 	write(id BlockID, src []byte) error
@@ -50,16 +55,34 @@ func (m *memBackend) write(id BlockID, src []byte) error {
 	return nil
 }
 
+// free drops the storage of a released block. Called with the Disk's write
+// lock held.
+func (m *memBackend) free(id BlockID) {
+	if int(id) < len(m.blocks) {
+		m.blocks[id] = nil
+	}
+}
+
 func (m *memBackend) Close() error {
 	m.blocks = nil
 	return nil
 }
 
-// fileBackend stores blocks at offset id·blockSize in an OS file.
+// fileBackend stores blocks at offset id·blockSize in an OS file. Partial
+// writes pad to a whole block through a pooled per-call scratch buffer: a
+// single shared buffer would be corrupted by two in-flight writers (each
+// copies its payload in before the WriteAt), even when the writers target
+// different blocks.
 type fileBackend struct {
 	blockSize int
 	f         *os.File
-	zero      []byte
+	scratch   sync.Pool // of []byte, blockSize each
+}
+
+func newFileBackend(f *os.File, blockSize int) *fileBackend {
+	fb := &fileBackend{blockSize: blockSize, f: f}
+	fb.scratch.New = func() any { return make([]byte, blockSize) }
+	return fb
 }
 
 func (fb *fileBackend) grow(id BlockID) error {
@@ -73,18 +96,18 @@ func (fb *fileBackend) read(id BlockID, dst []byte) error {
 }
 
 func (fb *fileBackend) write(id BlockID, src []byte) error {
-	buf := fb.zero
-	if len(src) > 0 {
-		copy(buf, src)
-		for i := len(src); i < len(buf); i++ {
-			buf[i] = 0
-		}
-	} else {
-		for i := range buf {
-			buf[i] = 0
-		}
+	off := int64(id) * int64(fb.blockSize)
+	if len(src) == fb.blockSize {
+		// Full-block writes need no padding; src is owned by the caller for
+		// the duration of the call, so it can go straight to the file.
+		_, err := fb.f.WriteAt(src, off)
+		return err
 	}
-	_, err := fb.f.WriteAt(buf, int64(id)*int64(fb.blockSize))
+	buf := fb.scratch.Get().([]byte)
+	copy(buf, src)
+	clear(buf[len(src):])
+	_, err := fb.f.WriteAt(buf, off)
+	fb.scratch.Put(buf)
 	return err
 }
 
@@ -110,6 +133,6 @@ func NewFileBackedDisk(dir string, blockSize int) (*Disk, error) {
 	}
 	return &Disk{
 		blockSize: blockSize,
-		backend:   &fileBackend{blockSize: blockSize, f: f, zero: make([]byte, blockSize)},
+		backend:   newFileBackend(f, blockSize),
 	}, nil
 }

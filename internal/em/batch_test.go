@@ -1,0 +1,147 @@
+package em
+
+import (
+	"io"
+	"testing"
+)
+
+// oddCodec is a 3-byte codec: with any power-of-two block size, records
+// regularly straddle block boundaries, exercising the staging-buffer
+// fallback of the batched paths.
+type oddCodec struct{}
+
+func (oddCodec) Size() int { return 3 }
+func (oddCodec) Encode(dst []byte, v int32) {
+	dst[0], dst[1], dst[2] = byte(v), byte(v>>8), byte(v>>16)
+}
+func (oddCodec) Decode(src []byte) int32 {
+	return int32(src[0]) | int32(src[1])<<8 | int32(src[2])<<16
+}
+
+// TestBatchRoundTrip checks WriteBatch → ReadBatch equivalence with
+// boundary-straddling records, at several batch sizes.
+func TestBatchRoundTrip(t *testing.T) {
+	const n = 1000
+	vs := make([]int32, n)
+	for i := range vs {
+		vs[i] = int32(i * 7)
+	}
+	d := MustNewDisk(64) // 3-byte records, 64-byte blocks: 21⅓ per block
+	f := NewFile(d)
+	w, err := NewRecordWriter(f, oddCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBatch(vs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Count(); got != n {
+		t.Fatalf("Count = %d, want %d", got, n)
+	}
+
+	for _, batchSize := range []int{1, 2, 21, 22, 256, 2 * n} {
+		rr, err := NewRecordReader(f, oddCodec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []int32
+		batch := make([]int32, batchSize)
+		for {
+			k, err := rr.ReadBatch(batch)
+			got = append(got, batch[:k]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(got) != n {
+			t.Fatalf("batch %d: read %d records, want %d", batchSize, len(got), n)
+		}
+		for i, v := range got {
+			if v != vs[i] {
+				t.Fatalf("batch %d: record %d = %d, want %d", batchSize, i, v, vs[i])
+			}
+		}
+	}
+}
+
+// TestBatchTransferCountsMatchUnbatched checks the accounting contract:
+// batched and per-record paths cost exactly the same transfers.
+func TestBatchTransferCountsMatchUnbatched(t *testing.T) {
+	const n = 500
+	vs := make([]int32, n)
+	for i := range vs {
+		vs[i] = int32(i)
+	}
+
+	unbatched := MustNewDisk(64)
+	fu := NewFile(unbatched)
+	wu, _ := NewRecordWriter(fu, oddCodec{})
+	for _, v := range vs {
+		if err := wu.Write(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wu.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ru, _ := NewRecordReader(fu, oddCodec{})
+	for {
+		if _, err := ru.Read(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	batched := MustNewDisk(64)
+	fb := NewFile(batched)
+	wb, _ := NewRecordWriter(fb, oddCodec{})
+	if err := wb.WriteBatch(vs); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := NewRecordReader(fb, oddCodec{})
+	batch := make([]int32, 64)
+	for {
+		if _, err := rb.ReadBatch(batch); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if u, b := unbatched.Stats(), batched.Stats(); u != b {
+		t.Fatalf("batched stats %v != unbatched stats %v", b, u)
+	}
+}
+
+// TestReadBatchTruncatedRecord checks that a file whose tail is not a whole
+// record fails the same way the per-record reader does.
+func TestReadBatchTruncatedRecord(t *testing.T) {
+	d := MustNewDisk(64)
+	f := NewFile(d)
+	w := f.NewWriter()
+	if _, err := w.Write(make([]byte, 7)); err != nil { // 2 records + 1 byte
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rr, err := NewRecordReader(f, oddCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]int32, 8)
+	k, err := rr.ReadBatch(batch)
+	if k != 2 || err == nil || err == io.EOF {
+		t.Fatalf("ReadBatch = (%d, %v), want (2, truncated-record error)", k, err)
+	}
+}

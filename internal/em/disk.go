@@ -15,6 +15,8 @@ package em
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // Common configuration errors.
@@ -51,14 +53,28 @@ func (s Stats) String() string {
 type BlockID int64
 
 // Disk is a simulated block device. The zero value is unusable; construct
-// with NewDisk or NewFileBackedDisk. Disk is not safe for concurrent use:
-// the EM model is sequential, and so are all algorithms in this repository.
+// with NewDisk or NewFileBackedDisk.
+//
+// Disk is safe for concurrent use: the transfer counters are atomic and
+// allocation state is mutex-guarded, so the parallel solver (DESIGN.md §6)
+// can run goroutines against one device. The tally is order-independent —
+// Stats().Total() is identical however the same set of transfers is
+// interleaved. Individual blocks still have single-owner semantics:
+// concurrent writers to the *same* block are a caller bug, exactly as two
+// writers to one file would be.
 type Disk struct {
 	blockSize int
 	backend   backend
+
+	// mu guards live and freeList. ReadBlock/WriteBlock take it in read
+	// mode only to validate ids against the (append-only) live table.
+	mu        sync.RWMutex
 	live      []bool
 	freeList  []BlockID
-	stats     Stats
+	liveCount atomic.Int64 // O(1) InUse, maintained by Alloc/Free
+
+	reads  atomic.Uint64
+	writes atomic.Uint64
 }
 
 // NewDisk returns an in-memory Disk with the given block size in bytes.
@@ -85,23 +101,33 @@ func MustNewDisk(blockSize int) *Disk {
 func (d *Disk) BlockSize() int { return d.blockSize }
 
 // Stats returns the transfer counters accumulated so far.
-func (d *Disk) Stats() Stats { return d.stats }
+func (d *Disk) Stats() Stats {
+	return Stats{Reads: d.reads.Load(), Writes: d.writes.Load()}
+}
 
 // ResetStats zeroes the transfer counters (e.g. to exclude data generation
 // from a measured phase).
-func (d *Disk) ResetStats() { d.stats = Stats{} }
+func (d *Disk) ResetStats() {
+	d.reads.Store(0)
+	d.writes.Store(0)
+}
 
 // Close releases backend resources (removes the backing file of a
 // file-backed disk). The disk must not be used afterwards.
 func (d *Disk) Close() error {
+	d.mu.Lock()
 	d.live = nil
 	d.freeList = nil
+	d.liveCount.Store(0)
+	d.mu.Unlock()
 	return d.backend.Close()
 }
 
 // Alloc reserves a zeroed block and returns its id. Allocation itself is
 // free; the transfer is charged when the block is read or written.
 func (d *Disk) Alloc() BlockID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	var id BlockID
 	if n := len(d.freeList); n > 0 {
 		id = d.freeList[n-1]
@@ -117,26 +143,36 @@ func (d *Disk) Alloc() BlockID {
 		panic(fmt.Sprintf("em: backend grow: %v", err))
 	}
 	d.live[id] = true
+	d.liveCount.Add(1)
 	return id
 }
 
 // Free releases a block. Freeing is free of transfer cost.
 func (d *Disk) Free(id BlockID) error {
-	if err := d.check(id); err != nil {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkLocked(id); err != nil {
 		return err
 	}
 	d.live[id] = false
+	d.liveCount.Add(-1)
 	d.freeList = append(d.freeList, id)
 	if m, ok := d.backend.(*memBackend); ok {
-		m.blocks[id] = nil // let large intermediates be collected
+		m.free(id) // let large intermediates be collected
 	}
 	return nil
 }
 
 // ReadBlock copies block id into dst (len(dst) must be ≥ BlockSize) and
 // charges one read transfer.
+//
+// The read lock is held across the backend access: it excludes Alloc/Free
+// (which may move the backends' block tables) while still letting any
+// number of block transfers proceed concurrently.
 func (d *Disk) ReadBlock(id BlockID, dst []byte) error {
-	if err := d.check(id); err != nil {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.checkLocked(id); err != nil {
 		return err
 	}
 	if len(dst) < d.blockSize {
@@ -145,14 +181,16 @@ func (d *Disk) ReadBlock(id BlockID, dst []byte) error {
 	if err := d.backend.read(id, dst); err != nil {
 		return err
 	}
-	d.stats.Reads++
+	d.reads.Add(1)
 	return nil
 }
 
 // WriteBlock copies src (at most BlockSize bytes) into block id and charges
 // one write transfer.
 func (d *Disk) WriteBlock(id BlockID, src []byte) error {
-	if err := d.check(id); err != nil {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.checkLocked(id); err != nil {
 		return err
 	}
 	if len(src) > d.blockSize {
@@ -161,23 +199,15 @@ func (d *Disk) WriteBlock(id BlockID, src []byte) error {
 	if err := d.backend.write(id, src); err != nil {
 		return err
 	}
-	d.stats.Writes++
+	d.writes.Add(1)
 	return nil
 }
 
 // InUse returns the number of live (allocated, unfreed) blocks — useful for
-// leak checks in tests.
-func (d *Disk) InUse() int {
-	n := 0
-	for _, alive := range d.live {
-		if alive {
-			n++
-		}
-	}
-	return n
-}
+// leak checks in tests. O(1): maintained incrementally by Alloc/Free.
+func (d *Disk) InUse() int { return int(d.liveCount.Load()) }
 
-func (d *Disk) check(id BlockID) error {
+func (d *Disk) checkLocked(id BlockID) error {
 	if id < 0 || int(id) >= len(d.live) {
 		return fmt.Errorf("%w: %d", ErrBadBlock, id)
 	}

@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 
 	"maxrs/internal/baseline"
+	"maxrs/internal/conc"
 	"maxrs/internal/core"
 	"maxrs/internal/crs"
 	"maxrs/internal/em"
@@ -61,6 +63,20 @@ type Config struct {
 	// in the quality experiment (0 = 50k). The paper's oracle [8] is
 	// O(n² log n); ours is cheaper but still superlinear on dense data.
 	OracleCap int
+	// Parallelism bounds the goroutines running figure panel points
+	// concurrently, and is threaded into each solver (DESIGN.md §6).
+	// 0 = GOMAXPROCS, 1 = sequential. Every panel point runs on its own
+	// simulated disk, so the measured transfer counts are identical for
+	// every value.
+	Parallelism int
+}
+
+// par resolves the worker count.
+func (c Config) par() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (c Config) withDefaults() Config {
@@ -102,17 +118,17 @@ func (c Config) n(base int) int {
 // Series is one figure panel: a labelled family of curves over a shared
 // x-axis. Values[algo][i] corresponds to X[i].
 type Series struct {
-	Title  string
-	XLabel string
-	X      []float64
-	Order  []string
-	Values map[string][]float64
+	Title  string               `json:"title"`
+	XLabel string               `json:"xlabel"`
+	X      []float64            `json:"x"`
+	Order  []string             `json:"order"`
+	Values map[string][]float64 `json:"values"`
 }
 
 // runAlgo executes one algorithm over objs with the given EM parameters
 // and returns the I/O cost of the query phase (data loading excluded, as
 // in the paper: the dataset pre-exists on disk).
-func runAlgo(algo string, objs []geom.Object, blockSize, mem int, w, h float64) (float64, error) {
+func runAlgo(algo string, objs []geom.Object, blockSize, mem, par int, w, h float64) (float64, error) {
 	env := em.MustNewEnv(blockSize, mem)
 	f, err := workload.Write(env.Disk, objs)
 	if err != nil {
@@ -127,7 +143,7 @@ func runAlgo(algo string, objs []geom.Object, blockSize, mem int, w, h float64) 
 		res, err = baseline.ASBTreeSweep(env, f, w, h)
 	case AlgoExact:
 		var s *core.Solver
-		s, err = core.NewSolver(env, core.Config{})
+		s, err = core.NewSolver(env, core.Config{Parallelism: par})
 		if err == nil {
 			res, err = s.SolveObjects(f, w, h)
 		}
@@ -141,21 +157,37 @@ func runAlgo(algo string, objs []geom.Object, blockSize, mem int, w, h float64) 
 	return float64(env.Disk.Stats().Total()), nil
 }
 
-// ioSweep builds a Series by running every algorithm at every x.
-func ioSweep(title, xlabel string, xs []float64, gen func(x float64) []geom.Object,
+// forEachCell runs fn(i) for every panel cell i on up to par goroutines,
+// returning the lowest-index error.
+func forEachCell(n, par int, fn func(i int) error) error {
+	return conc.ForEachIndexed(n, par, fn)
+}
+
+// ioSweep builds a Series by running every algorithm at every x. Panel
+// points run concurrently (each on its own simulated disk); results land
+// in their cells by index, so the Series is identical at any parallelism.
+func ioSweep(cfg Config, title, xlabel string, xs []float64, gen func(x float64) []geom.Object,
 	em func(x float64) (blockSize, mem int), rng func(x float64) (w, h float64)) (Series, error) {
 	s := Series{Title: title, XLabel: xlabel, X: xs, Order: Algos, Values: map[string][]float64{}}
-	for _, x := range xs {
+	for _, algo := range Algos {
+		s.Values[algo] = make([]float64, len(xs))
+	}
+	err := forEachCell(len(xs), cfg.par(), func(xi int) error {
+		x := xs[xi]
 		objs := gen(x)
 		bs, mem := em(x)
 		w, h := rng(x)
 		for _, algo := range Algos {
-			io, err := runAlgo(algo, objs, bs, mem, w, h)
+			io, err := runAlgo(algo, objs, bs, mem, cfg.Parallelism, w, h)
 			if err != nil {
-				return Series{}, fmt.Errorf("%s at %g: %w", algo, x, err)
+				return fmt.Errorf("%s at %g: %w", algo, x, err)
 			}
-			s.Values[algo] = append(s.Values[algo], io)
+			s.Values[algo][xi] = io
 		}
+		return nil
+	})
+	if err != nil {
+		return Series{}, err
 	}
 	return s, nil
 }
@@ -179,6 +211,7 @@ func Fig12(cfg Config) ([]Series, error) {
 			return workload.Uniform(cfg.Seed, n, extent)
 		}
 		s, err := ioSweep(
+			cfg,
 			fmt.Sprintf("Fig 12 (%s): I/O vs cardinality", dist), "N",
 			xs, gen,
 			func(float64) (int, int) { return cfg.BlockSize, cfg.buf(DefaultBufSynthetic) },
@@ -214,6 +247,7 @@ func Fig13(cfg Config) ([]Series, error) {
 			objs = workload.Uniform(cfg.Seed, n, extent)
 		}
 		s, err := ioSweep(
+			cfg,
 			fmt.Sprintf("Fig 13 (%s): I/O vs buffer size", dist), "buffer KB",
 			buffers,
 			func(float64) []geom.Object { return objs },
@@ -245,6 +279,7 @@ func Fig14(cfg Config) ([]Series, error) {
 			objs = workload.Uniform(cfg.Seed, n, extent)
 		}
 		s, err := ioSweep(
+			cfg,
 			fmt.Sprintf("Fig 14 (%s): I/O vs range size", dist), "range",
 			ranges,
 			func(float64) []geom.Object { return objs },
@@ -283,6 +318,7 @@ func Fig15(cfg Config) ([]Series, error) {
 	for _, name := range []string{"UX", "NE"} {
 		objs := realDataset(cfg, name)
 		s, err := ioSweep(
+			cfg,
 			fmt.Sprintf("Fig 15 (%s): I/O vs buffer size", name), "buffer KB",
 			buffers,
 			func(float64) []geom.Object { return objs },
@@ -306,6 +342,7 @@ func Fig16(cfg Config) ([]Series, error) {
 	for _, name := range []string{"UX", "NE"} {
 		objs := realDataset(cfg, name)
 		s, err := ioSweep(
+			cfg,
 			fmt.Sprintf("Fig 16 (%s): I/O vs range size", name), "range",
 			ranges,
 			func(float64) []geom.Object { return objs },
@@ -343,29 +380,38 @@ func Fig17(cfg Config) (Series, error) {
 		Order:  order,
 		Values: map[string][]float64{},
 	}
+	samples := map[string][]geom.Object{}
 	for _, name := range order {
-		objs := workload.Sample(cfg.Seed, datasets[name], cfg.OracleCap)
-		for _, d := range diameters {
-			env := em.MustNewEnv(cfg.BlockSize, cfg.buf(DefaultBufSynthetic))
-			f, err := workload.Write(env.Disk, objs)
-			if err != nil {
-				return Series{}, err
-			}
-			solver, err := core.NewSolver(env, core.Config{})
-			if err != nil {
-				return Series{}, err
-			}
-			approx, err := crs.Approx(solver, f, d)
-			if err != nil {
-				return Series{}, fmt.Errorf("%s d=%g: %w", name, d, err)
-			}
-			exact := crs.Exact(objs, d)
-			ratio := 1.0
-			if exact.Weight > 0 {
-				ratio = approx.Weight / exact.Weight
-			}
-			s.Values[name] = append(s.Values[name], ratio)
+		s.Values[name] = make([]float64, len(diameters))
+		samples[name] = workload.Sample(cfg.Seed, datasets[name], cfg.OracleCap)
+	}
+	err := forEachCell(len(order)*len(diameters), cfg.par(), func(cell int) error {
+		name := order[cell/len(diameters)]
+		d := diameters[cell%len(diameters)]
+		objs := samples[name]
+		env := em.MustNewEnv(cfg.BlockSize, cfg.buf(DefaultBufSynthetic))
+		f, err := workload.Write(env.Disk, objs)
+		if err != nil {
+			return err
 		}
+		solver, err := core.NewSolver(env, core.Config{Parallelism: cfg.Parallelism})
+		if err != nil {
+			return err
+		}
+		approx, err := crs.Approx(solver, f, d)
+		if err != nil {
+			return fmt.Errorf("%s d=%g: %w", name, d, err)
+		}
+		exact := crs.Exact(objs, d)
+		ratio := 1.0
+		if exact.Weight > 0 {
+			ratio = approx.Weight / exact.Weight
+		}
+		s.Values[name][cell%len(diameters)] = ratio
+		return nil
+	})
+	if err != nil {
+		return Series{}, err
 	}
 	return s, nil
 }

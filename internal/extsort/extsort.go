@@ -3,14 +3,24 @@
 // spills sorted runs; then repeated (M/B − 1)-way merges reduce the runs to
 // one. Total cost O((N/B) log_{M/B}(N/B)) block transfers — the same bound
 // as, and a prerequisite of, ExactMaxRS (§5, Theorem 2).
+//
+// SortP additionally exploits CPU parallelism in the PEM style (DESIGN.md
+// §6): run buffers are sorted and spilled by worker goroutines pipelined
+// behind the single reader, and independent merge groups of one level run
+// concurrently. Run boundaries and the merge tree are byte-identical to the
+// sequential schedule, so the counted transfer total never depends on the
+// worker count.
 package extsort
 
 import (
 	"container/heap"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 
+	"maxrs/internal/conc"
 	"maxrs/internal/em"
 )
 
@@ -18,18 +28,37 @@ import (
 // file. The input file is not modified and not released. The memory budget
 // env.M bounds both the run-formation buffer and the merge fan-in.
 func Sort[T any](env em.Env, in *em.File, codec em.Codec[T], less func(a, b T) bool) (*em.File, error) {
+	return SortP(env, in, codec, less, 1)
+}
+
+// SortP is Sort with up to parallelism worker goroutines (≤ 0 selects
+// GOMAXPROCS). The output file and the block-transfer counts are identical
+// for every parallelism value; only wall-clock time changes.
+func SortP[T any](env em.Env, in *em.File, codec em.Codec[T], less func(a, b T) bool, parallelism int) (*em.File, error) {
 	if err := env.Validate(); err != nil {
 		return nil, err
 	}
-	runs, err := formRuns(env, in, codec, less)
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	runs, err := formRuns(env, in, codec, less, parallelism)
 	if err != nil {
 		return nil, err
 	}
-	return mergeRuns(env, runs, codec, less, true)
+	return mergeRuns(env, runs, codec, less, true, parallelism)
 }
 
-// formRuns produces sorted runs of ≤ M bytes each.
-func formRuns[T any](env em.Env, in *em.File, codec em.Codec[T], less func(a, b T) bool) ([]*em.File, error) {
+// sortAndSpill sorts one run buffer and writes it out as a run file.
+func sortAndSpill[T any](env em.Env, codec em.Codec[T], less func(a, b T) bool, buf []T) (*em.File, error) {
+	sort.SliceStable(buf, func(i, j int) bool { return less(buf[i], buf[j]) })
+	return em.WriteAll(env.Disk, codec, buf)
+}
+
+// formRuns produces sorted runs of ≤ M bytes each. Run i always holds
+// records [i·perRun, (i+1)·perRun) of the input regardless of parallelism:
+// workers only take over the sort + spill of a buffer the reader has
+// already filled.
+func formRuns[T any](env em.Env, in *em.File, codec em.Codec[T], less func(a, b T) bool, parallelism int) ([]*em.File, error) {
 	rr, err := em.NewRecordReader(in, codec)
 	if err != nil {
 		return nil, err
@@ -38,71 +67,123 @@ func formRuns[T any](env em.Env, in *em.File, codec em.Codec[T], less func(a, b 
 	if perRun < 1 {
 		return nil, fmt.Errorf("extsort: memory %dB cannot hold one %dB record", env.M, codec.Size())
 	}
-	var runs []*em.File
-	buf := make([]T, 0, perRun)
-	flush := func() error {
-		if len(buf) == 0 {
-			return nil
-		}
-		sort.SliceStable(buf, func(i, j int) bool { return less(buf[i], buf[j]) })
-		f, err := em.WriteAll(env.Disk, codec, buf)
-		if err != nil {
-			return err
-		}
-		runs = append(runs, f)
-		buf = buf[:0]
-		return nil
+
+	type runJob struct {
+		idx int
+		buf []T
 	}
+	var (
+		mu       sync.Mutex
+		runs     []*em.File
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	place := func(idx int, f *em.File, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		for len(runs) <= idx {
+			runs = append(runs, nil)
+		}
+		runs[idx] = f
+	}
+	// An unbuffered channel with p workers bounds in-flight run buffers to
+	// p+1 (p sorting/spilling + 1 filling): the PEM budget of DESIGN.md §6.
+	jobs := make(chan runJob)
+	workers := parallelism
+	if workers > 1 {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobs {
+					f, err := sortAndSpill(env, codec, less, j.buf)
+					place(j.idx, f, err)
+				}
+			}()
+		}
+	}
+	dispatch := func(idx int, buf []T) {
+		if workers > 1 {
+			jobs <- runJob{idx: idx, buf: buf}
+			return
+		}
+		f, err := sortAndSpill(env, codec, less, buf)
+		place(idx, f, err)
+	}
+	finish := func() {
+		close(jobs)
+		wg.Wait()
+	}
+
+	idx := 0
+	buf := make([]T, 0, perRun)
 	for {
-		v, err := rr.Read()
+		n, err := rr.ReadBatch(buf[len(buf):perRun])
+		buf = buf[:len(buf)+n]
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
+			finish()
 			return nil, err
 		}
-		buf = append(buf, v)
 		if len(buf) == perRun {
-			if err := flush(); err != nil {
-				return nil, err
-			}
+			dispatch(idx, buf)
+			idx++
+			buf = make([]T, 0, perRun)
 		}
 	}
-	if err := flush(); err != nil {
-		return nil, err
+	if len(buf) > 0 {
+		dispatch(idx, buf)
+		idx++
 	}
-	if len(runs) == 0 { // empty input → empty sorted file
+	finish()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if idx == 0 { // empty input → empty sorted file
 		runs = append(runs, em.NewFile(env.Disk))
 	}
 	return runs, nil
 }
 
 // mergeRuns repeatedly merges groups of up to fanIn runs until one remains.
-// If releaseInputs is true, merged-away runs are released.
-func mergeRuns[T any](env em.Env, runs []*em.File, codec em.Codec[T], less func(a, b T) bool, releaseInputs bool) (*em.File, error) {
+// If releaseInputs is true, merged-away runs are released. Groups of one
+// level are independent and run on up to parallelism goroutines.
+func mergeRuns[T any](env em.Env, runs []*em.File, codec em.Codec[T], less func(a, b T) bool, releaseInputs bool, parallelism int) (*em.File, error) {
 	fanIn := env.MemBlocks() - 1 // one block reserved for the output buffer
 	if fanIn < 2 {
 		fanIn = 2
 	}
 	for len(runs) > 1 {
-		var next []*em.File
-		for lo := 0; lo < len(runs); lo += fanIn {
-			hi := lo + fanIn
-			if hi > len(runs) {
-				hi = len(runs)
-			}
+		groups := (len(runs) + fanIn - 1) / fanIn
+		next := make([]*em.File, groups)
+		release := releaseInputs
+		err := conc.ForEachIndexed(groups, parallelism, func(g int) error {
+			lo := g * fanIn
+			hi := min(lo+fanIn, len(runs))
 			merged, err := mergeOnce(env, runs[lo:hi], codec, less)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			if releaseInputs {
+			if release {
 				for _, r := range runs[lo:hi] {
 					if err := r.Release(); err != nil {
-						return nil, err
+						return err
 					}
 				}
 			}
-			next = append(next, merged)
+			next[g] = merged
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		runs = next
 		releaseInputs = true // intermediate levels are always ours to free

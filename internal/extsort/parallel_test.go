@@ -1,0 +1,94 @@
+package extsort
+
+import (
+	"math/rand"
+	"testing"
+
+	"maxrs/internal/em"
+)
+
+// TestSortPMatchesSort checks the PEM contract (DESIGN.md §6): for every
+// parallelism value SortP must produce a byte-identical output file and
+// count exactly the same transfers as the sequential sort — run boundaries
+// and the merge tree do not depend on the worker count.
+func TestSortPMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	vals := make([]int64, 20_000)
+	for i := range vals {
+		vals[i] = rng.Int63n(1000) // many duplicates: stability matters
+	}
+
+	var (
+		want      []int64
+		wantTotal uint64
+	)
+	for _, p := range []int{1, 2, 4, 8} {
+		env := em.MustNewEnv(128, 1024) // 128 records per run, fan-in 7
+		in, err := em.WriteAll[int64](env.Disk, int64Codec{}, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.Disk.ResetStats()
+		out, err := SortP(env, in, int64Codec{}, lessInt64, p)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		got, err := em.ReadAll[int64](out, int64Codec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := env.Disk.Stats().Total()
+		if p == 1 {
+			want, wantTotal = got, total
+			if !sorted(want) {
+				t.Fatal("sequential output not sorted")
+			}
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("p=%d: %d records, want %d", p, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("p=%d: record %d = %d, want %d", p, i, got[i], want[i])
+			}
+		}
+		if total != wantTotal {
+			t.Fatalf("p=%d: %d transfers, want %d", p, total, wantTotal)
+		}
+	}
+}
+
+func sorted(vs []int64) bool {
+	for i := 1; i < len(vs); i++ {
+		if vs[i-1] > vs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSortPAuto checks that the GOMAXPROCS default works end to end.
+func TestSortPAuto(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = rng.Int63()
+	}
+	env := em.MustNewEnv(128, 1024)
+	in, err := em.WriteAll[int64](env.Disk, int64Codec{}, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := SortP(env, in, int64Codec{}, lessInt64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := em.ReadAll[int64](out, int64Codec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vals) || !sorted(got) {
+		t.Fatalf("auto-parallel sort: %d records, sorted=%v", len(got), sorted(got))
+	}
+}

@@ -125,6 +125,12 @@ type Options struct {
 	// Fanout overrides the recursion fan-in m of ExactMaxRS (0 = the
 	// paper's Θ(M/B)); exposed for ablation studies.
 	Fanout int
+	// Parallelism bounds the worker goroutines ExactMaxRS uses for
+	// independent child slabs, sort-run formation, and merge groups
+	// (0 = GOMAXPROCS, 1 = sequential). Results and the counted block
+	// transfers are identical for every value; only wall-clock time
+	// changes. See DESIGN.md §6.
+	Parallelism int
 	// OnDisk stores blocks in a temporary OS file under OnDiskDir
 	// (default: the system temp directory) instead of process memory, so
 	// datasets larger than RAM work too. Call Engine.Close to remove the
@@ -188,7 +194,7 @@ func NewEngine(opts *Options) (*Engine, error) {
 			return nil, err
 		}
 	}
-	solver, err := core.NewSolver(env, core.Config{Fanout: o.Fanout})
+	solver, err := core.NewSolver(env, core.Config{Fanout: o.Fanout, Parallelism: o.Parallelism})
 	if err != nil {
 		return nil, err
 	}
