@@ -54,6 +54,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	defer engine.Close()
 	ds, err := engine.Load(objs)
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"maxrs"
+	"maxrs/internal/experiments"
+	"maxrs/internal/workload"
+)
+
+// loadConfig parameterizes the -exp=load mode: a workload-driven load
+// generator demonstrating query throughput scaling when one shared Engine
+// serves concurrent goroutines (the maxrsd serving scenario, without
+// HTTP in the way).
+type loadConfig struct {
+	objects int
+	queries int   // per concurrency level
+	levels  []int // goroutine counts to sweep
+	seed    int64
+	par     int // Options.Parallelism of the shared engine
+	out     io.Writer
+}
+
+// loadQuery returns the deterministic i-th query of the mix: mostly MaxRS
+// at varying sizes, with TopK, MinRS, CountRS and MaxCRS sprinkled in, so
+// the sweep exercises every concurrent entry point.
+func runLoadQuery(e *maxrs.Engine, d *maxrs.Dataset, i int, extent float64) (score float64, cost uint64, err error) {
+	size := extent / float64(20+(i%5)*15) // varied, cache-unfriendly sizes
+	switch i % 8 {
+	case 6:
+		rs, err := e.TopK(d, size, size, 2)
+		if err != nil || len(rs) == 0 {
+			return 0, 0, err
+		}
+		var total uint64
+		for _, r := range rs {
+			total += r.Stats.Total()
+		}
+		return rs[0].Score, total, nil
+	case 7:
+		r, err := e.MaxCRS(d, size)
+		return r.Score, r.Stats.Total(), err
+	case 5:
+		r, err := e.CountRS(d, size, size)
+		return r.Score, r.Stats.Total(), err
+	case 4:
+		r, err := e.MinRS(d, size, size)
+		return r.Score, r.Stats.Total(), err
+	default:
+		r, err := e.MaxRS(d, size, size)
+		return r.Score, r.Stats.Total(), err
+	}
+}
+
+// runLoad loads one shared dataset and replays the same deterministic
+// query mix at each concurrency level, reporting wall-clock throughput as
+// a Series (for the -json summary). Two invariants of DESIGN.md §7 are
+// asserted per level: scores and summed per-query I/O are identical at
+// every concurrency, and the per-query scopes sum exactly to the engine's
+// global transfer delta (no lost or double-counted attribution).
+func runLoad(cfg loadConfig) (experiments.Series, error) {
+	series := experiments.Series{
+		Title:  "load: shared-engine query throughput",
+		XLabel: "query goroutines",
+		Order:  []string{"queries/s", "per-query I/O total"},
+		Values: map[string][]float64{},
+	}
+	e, err := maxrs.NewEngine(&maxrs.Options{Parallelism: cfg.par})
+	if err != nil {
+		return series, err
+	}
+	defer e.Close()
+	extent := 4 * float64(cfg.objects)
+	gobjs := workload.Uniform(cfg.seed, cfg.objects, extent)
+	objs := make([]maxrs.Object, len(gobjs))
+	for i, o := range gobjs {
+		objs[i] = maxrs.Object{X: o.X, Y: o.Y, Weight: o.W}
+	}
+	d, err := e.Load(objs)
+	if err != nil {
+		return series, err
+	}
+	defer d.Release()
+
+	fmt.Fprintf(cfg.out, "load: %d uniform objects, %d queries per level, engine parallelism %d\n",
+		cfg.objects, cfg.queries, cfg.par)
+	fmt.Fprintf(cfg.out, "%12s %12s %12s %10s %14s\n", "goroutines", "elapsed", "queries/s", "speedup", "per-query I/O")
+
+	var baseElapsed time.Duration
+	var baseScores []float64
+	var baseIO uint64
+	for _, g := range cfg.levels {
+		scores := make([]float64, cfg.queries)
+		ios := make([]uint64, cfg.queries)
+		errs := make([]error, cfg.queries)
+		next := make(chan int)
+		var wg sync.WaitGroup
+		globalBefore := e.Stats()
+		start := time.Now()
+		for w := 0; w < g; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					scores[i], ios[i], errs[i] = runLoadQuery(e, d, i, extent)
+				}
+			}()
+		}
+		for i := 0; i < cfg.queries; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		elapsed := time.Since(start)
+		var totalIO uint64
+		for i := range errs {
+			if errs[i] != nil {
+				return series, fmt.Errorf("load: level %d query %d: %w", g, i, errs[i])
+			}
+			totalIO += ios[i]
+		}
+		// Attribution exactness: the per-query scopes of this level must
+		// sum to the engine's global transfer delta (DESIGN.md §7.2).
+		if delta := e.Stats().Total() - globalBefore.Total(); totalIO != delta {
+			return series, fmt.Errorf("load: level %d: per-query I/O sum %d != global delta %d", g, totalIO, delta)
+		}
+		if baseScores == nil {
+			baseElapsed, baseScores, baseIO = elapsed, scores, totalIO
+		} else {
+			for i := range scores {
+				if scores[i] != baseScores[i] {
+					return series, fmt.Errorf("load: level %d query %d: score %g != sequential %g",
+						g, i, scores[i], baseScores[i])
+				}
+			}
+			if totalIO != baseIO {
+				return series, fmt.Errorf("load: level %d: per-query I/O sum %d != sequential %d", g, totalIO, baseIO)
+			}
+		}
+		qps := float64(cfg.queries) / elapsed.Seconds()
+		series.X = append(series.X, float64(g))
+		series.Values["queries/s"] = append(series.Values["queries/s"], qps)
+		series.Values["per-query I/O total"] = append(series.Values["per-query I/O total"], float64(totalIO))
+		fmt.Fprintf(cfg.out, "%12d %12s %12.1f %9.2fx %14d\n",
+			g, elapsed.Round(time.Millisecond), qps, baseElapsed.Seconds()/elapsed.Seconds(), totalIO)
+	}
+	fmt.Fprintf(cfg.out, "scores, per-query I/O, and scope-vs-global attribution identical at every level ✓\n")
+	return series, nil
+}

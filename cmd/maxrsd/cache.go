@@ -1,0 +1,69 @@
+package main
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a concurrency-safe LRU of solved query responses keyed by
+// (dataset generation, algorithm, query parameters). Entries for deleted
+// datasets are never hit again (the generation changes) and age out of the
+// LRU naturally. A capacity ≤ 0 disables caching.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used; values are *cacheEntry
+	byKey map[string]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key string
+	val queryResponse
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+func (c *resultCache) get(key string) (queryResponse, bool) {
+	if c.cap <= 0 {
+		return queryResponse{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return queryResponse{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+func (c *resultCache) put(key string, val queryResponse) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.ll.Len() >= c.cap {
+		back := c.ll.Back()
+		delete(c.byKey, back.Value.(*cacheEntry).key)
+		c.ll.Remove(back)
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+}
+
+func (c *resultCache) stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

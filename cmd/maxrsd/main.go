@@ -1,0 +1,101 @@
+// Command maxrsd is an HTTP JSON server for MaxRS/MaxCRS/TopK queries
+// over named datasets — the serving layer on top of the concurrency-safe
+// Engine. It loads CSV datasets (uploaded or server-local), answers
+// queries through a bounded worker pool, and caches solved
+// (dataset, op, parameters) results in an LRU.
+//
+// Usage:
+//
+//	maxrsd -addr=:8080 -workers=8 -cache=1024
+//	maxrsd -ondisk -ondiskdir=/var/tmp      # datasets larger than RAM
+//
+// API:
+//
+//	GET    /healthz                 liveness
+//	GET    /stats                   global I/O counters, cache + leak gauges
+//	GET    /datasets                list loaded datasets
+//	PUT    /datasets/{name}         load CSV from the request body
+//	PUT    /datasets/{name}?path=P  load CSV from P under -datadir
+//	                                (requires -datadir; confined to it)
+//	DELETE /datasets/{name}         release a dataset (safe mid-query)
+//	POST   /query                   {"dataset":"d","op":"maxrs","w":4,"h":4}
+//	                                {"dataset":"d","op":"topk","w":4,"h":4,"k":3}
+//	                                {"dataset":"d","op":"maxcrs","diameter":4}
+//
+// Every query result carries its own per-query I/O stats; /stats keeps
+// the disk-global totals. See README.md for a walkthrough.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"maxrs"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrently executing queries (further requests queue)")
+		cacheSize = flag.Int("cache", 1024, "LRU capacity of cached query results (0 disables)")
+		blockSize = flag.Int("block", 4096, "EM block size B in bytes")
+		memory    = flag.Int("mem", 1<<20, "EM memory budget M in bytes")
+		parallel  = flag.Int("parallel", 0, "solver worker goroutines shared by all queries (0 = GOMAXPROCS)")
+		onDisk    = flag.Bool("ondisk", false, "back blocks with a temp file instead of process memory")
+		onDiskDir = flag.String("ondiskdir", "", "directory for the -ondisk backing file (default: system temp)")
+		dataDir   = flag.String("datadir", "", "directory PUT /datasets/{name}?path= may read CSV files from (empty disables server-local loads)")
+	)
+	flag.Parse()
+	eng, err := maxrs.NewEngine(&maxrs.Options{
+		BlockSize:   *blockSize,
+		Memory:      *memory,
+		Parallelism: *parallel,
+		OnDisk:      *onDisk,
+		OnDiskDir:   *onDiskDir,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "maxrsd: %v\n", err)
+		os.Exit(1)
+	}
+	srv := newServer(eng, *workers, *cacheSize)
+	srv.dataDir = *dataDir
+	log.Printf("maxrsd: listening on %s (workers=%d cache=%d B=%d M=%d)",
+		*addr, *workers, *cacheSize, *blockSize, *memory)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+
+	// Drain on SIGINT/SIGTERM so in-flight queries finish and the engine
+	// is closed — with -ondisk that removes the backing temp file, which
+	// would otherwise leak on every shutdown of a long-running server.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var err2 error
+	select {
+	case <-sigCtx.Done():
+		log.Printf("maxrsd: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			// Handlers may still be mid-query; closing the engine under
+			// them would violate Close's exclusivity contract. Prefer
+			// leaking the backing file to a use-after-close race.
+			log.Fatal(err)
+		}
+	case err2 = <-serveErr:
+	}
+	if cerr := eng.Close(); cerr != nil && err2 == nil {
+		err2 = cerr
+	}
+	if err2 != nil {
+		log.Fatal(err2)
+	}
+}

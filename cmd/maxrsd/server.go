@@ -1,0 +1,352 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"maxrs"
+)
+
+// server is the maxrsd serving layer: one shared concurrency-safe Engine,
+// a named-dataset registry, a bounded worker pool, and an LRU result
+// cache. All HTTP handlers are safe for concurrent use; the Engine's own
+// concurrency contract (DESIGN.md §7) does the heavy lifting.
+type server struct {
+	eng     *maxrs.Engine
+	sem     chan struct{} // one slot per concurrently executing query
+	cache   *resultCache
+	dataDir string // root for ?path= loads; empty disables them
+
+	mu       sync.RWMutex
+	datasets map[string]*dsEntry
+	nextGen  atomic.Uint64
+}
+
+// dsEntry is a registered dataset. gen is unique per registration, so a
+// deleted-and-reloaded dataset under the same name never hits stale cache
+// entries (cache keys embed the generation).
+type dsEntry struct {
+	ds  *maxrs.Dataset
+	gen uint64
+}
+
+func newServer(eng *maxrs.Engine, workers, cacheSize int) *server {
+	if workers < 1 {
+		workers = 1
+	}
+	return &server{
+		eng:      eng,
+		sem:      make(chan struct{}, workers),
+		cache:    newResultCache(cacheSize),
+		datasets: make(map[string]*dsEntry),
+	}
+}
+
+// openDataPath opens a ?path= request confined to the configured
+// -datadir. os.OpenInRoot refuses every escape, including symlinks
+// pointing outside the root — a lexical path check would not.
+func (s *server) openDataPath(path string) (*os.File, error) {
+	if s.dataDir == "" {
+		return nil, errors.New("server-local loads disabled (start maxrsd with -datadir)")
+	}
+	return os.OpenInRoot(s.dataDir, path)
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /datasets", s.handleListDatasets)
+	mux.HandleFunc("PUT /datasets/{name}", s.handlePutDataset)
+	mux.HandleFunc("DELETE /datasets/{name}", s.handleDeleteDataset)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	return mux
+}
+
+// httpError is the uniform JSON error envelope.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+type statsResponse struct {
+	Reads        uint64 `json:"reads"`
+	Writes       uint64 `json:"writes"`
+	Total        uint64 `json:"total"`
+	BlocksInUse  int    `json:"blocks_in_use"`
+	Datasets     int    `json:"datasets"`
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	CacheEntries int    `json:"cache_entries"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.eng.Stats()
+	hits, misses, size := s.cache.stats()
+	s.mu.RLock()
+	n := len(s.datasets)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Reads: st.Reads, Writes: st.Writes, Total: st.Total(),
+		BlocksInUse: s.eng.BlocksInUse(), Datasets: n,
+		CacheHits: hits, CacheMisses: misses, CacheEntries: size,
+	})
+}
+
+type datasetInfo struct {
+	Name    string `json:"name"`
+	Objects int    `json:"objects"`
+	Blocks  int    `json:"blocks"`
+}
+
+func (s *server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	infos := make([]datasetInfo, 0, len(s.datasets))
+	for name, e := range s.datasets {
+		infos = append(infos, datasetInfo{Name: name, Objects: e.ds.Len(), Blocks: e.ds.Blocks()})
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// maxUpload bounds a CSV upload body (256 MiB).
+const maxUpload = 256 << 20
+
+// handlePutDataset loads a dataset from the request body (CSV, streamed
+// straight to the engine's disk) or, with ?path=, from a CSV file under
+// the server's -datadir (disabled when no -datadir is configured, and
+// confined to it — HTTP clients must not be able to read arbitrary
+// server files). An existing dataset under the same name is replaced
+// atomically: queries running against the old one finish on its
+// (reference-counted) blocks.
+func (s *server) handlePutDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var src io.Reader = http.MaxBytesReader(w, r.Body, maxUpload)
+	if path := r.URL.Query().Get("path"); path != "" {
+		f, err := s.openDataPath(path)
+		if err != nil {
+			code := http.StatusBadRequest
+			if s.dataDir == "" {
+				code = http.StatusForbidden
+			}
+			httpError(w, code, "open %s: %v", path, err)
+			return
+		}
+		defer f.Close()
+		src = f
+	}
+	ds, err := s.eng.LoadCSV(src)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "load: %v", err)
+		return
+	}
+	entry := &dsEntry{ds: ds, gen: s.nextGen.Add(1)}
+	s.mu.Lock()
+	old := s.datasets[name]
+	s.datasets[name] = entry
+	s.mu.Unlock()
+	if old != nil {
+		_ = old.ds.Release() // safe while in-flight queries still hold it
+	}
+	writeJSON(w, http.StatusCreated, datasetInfo{Name: name, Objects: ds.Len(), Blocks: ds.Blocks()})
+}
+
+func (s *server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	entry, ok := s.datasets[name]
+	delete(s.datasets, name)
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no dataset %q", name)
+		return
+	}
+	if err := entry.ds.Release(); err != nil {
+		httpError(w, http.StatusInternalServerError, "release: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+type queryRequest struct {
+	Dataset  string  `json:"dataset"`
+	Op       string  `json:"op"` // maxrs | maxcrs | topk
+	W        float64 `json:"w"`
+	H        float64 `json:"h"`
+	Diameter float64 `json:"diameter"` // maxcrs
+	K        int     `json:"k"`        // topk
+}
+
+type pointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+type statsJSON struct {
+	Reads  uint64 `json:"reads"`
+	Writes uint64 `json:"writes"`
+	Total  uint64 `json:"total"`
+}
+
+type queryResult struct {
+	Location pointJSON `json:"location"`
+	Score    float64   `json:"score"`
+	Stats    statsJSON `json:"stats"`
+}
+
+type queryResponse struct {
+	Dataset string        `json:"dataset"`
+	Op      string        `json:"op"`
+	Cached  bool          `json:"cached"`
+	Results []queryResult `json:"results"`
+}
+
+func fromResult(r maxrs.Result) queryResult {
+	return queryResult{
+		Location: pointJSON{X: r.Location.X, Y: r.Location.Y},
+		Score:    r.Score,
+		Stats:    statsJSON{Reads: r.Stats.Reads, Writes: r.Stats.Writes, Total: r.Stats.Total()},
+	}
+}
+
+// acquire claims a worker slot, honoring client disconnects while queued.
+func (s *server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *server) release() { <-s.sem }
+
+// maxQueryBody bounds a /query request body; real queries are a few
+// hundred bytes.
+const maxQueryBody = 1 << 20
+
+func (s *server) lookup(name string) (*dsEntry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.datasets[name]
+	return e, ok
+}
+
+func cacheKey(gen uint64, req queryRequest) string {
+	return fmt.Sprintf("%d|%s|%g|%g|%g|%d", gen, req.Op, req.W, req.H, req.Diameter, req.K)
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBody)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	entry, ok := s.lookup(req.Dataset)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no dataset %q", req.Dataset)
+		return
+	}
+	if resp, ok := s.cache.get(cacheKey(entry.gen, req)); ok {
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	if err := s.acquire(r.Context()); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "queue wait: %v", err)
+		return
+	}
+	defer s.release()
+	// Re-resolve after the queue wait: the dataset may have been replaced
+	// (PUT over the same name) while this request was queued, and the new
+	// entry — not a released old one — must serve it.
+	entry, ok = s.lookup(req.Dataset)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no dataset %q", req.Dataset)
+		return
+	}
+	// The dataset can still be replaced or deleted between the lookup and
+	// the engine call; ErrDatasetReleased then means "stale entry" — retry
+	// against the current registration, 404 only if the name is truly gone.
+	var resp queryResponse
+	var err error
+	for {
+		resp, err = s.runQuery(entry, req)
+		if err == nil || !errors.Is(err, maxrs.ErrDatasetReleased) {
+			break
+		}
+		fresh, ok := s.lookup(req.Dataset)
+		if !ok || fresh.gen == entry.gen {
+			httpError(w, http.StatusNotFound, "no dataset %q", req.Dataset)
+			return
+		}
+		entry = fresh
+	}
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, maxrs.ErrInvalidQuery) || errors.Is(err, errUnknownOp) {
+			code = http.StatusBadRequest
+		}
+		httpError(w, code, "query: %v", err)
+		return
+	}
+	s.cache.put(cacheKey(entry.gen, req), resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+var errUnknownOp = errors.New("unknown op (want maxrs, maxcrs or topk)")
+
+// runQuery dispatches one query against a resolved dataset entry.
+func (s *server) runQuery(entry *dsEntry, req queryRequest) (queryResponse, error) {
+	resp := queryResponse{Dataset: req.Dataset, Op: req.Op}
+	switch req.Op {
+	case "maxrs":
+		res, err := s.eng.MaxRS(entry.ds, req.W, req.H)
+		if err != nil {
+			return resp, err
+		}
+		resp.Results = []queryResult{fromResult(res)}
+	case "maxcrs":
+		res, err := s.eng.MaxCRS(entry.ds, req.Diameter)
+		if err != nil {
+			return resp, err
+		}
+		resp.Results = []queryResult{{
+			Location: pointJSON{X: res.Location.X, Y: res.Location.Y},
+			Score:    res.Score,
+			Stats:    statsJSON{Reads: res.Stats.Reads, Writes: res.Stats.Writes, Total: res.Stats.Total()},
+		}}
+	case "topk":
+		results, err := s.eng.TopK(entry.ds, req.W, req.H, req.K)
+		if err != nil {
+			return resp, err
+		}
+		resp.Results = make([]queryResult, len(results))
+		for i, res := range results {
+			resp.Results[i] = fromResult(res)
+		}
+	default:
+		return resp, fmt.Errorf("%w: %q", errUnknownOp, req.Op)
+	}
+	return resp, nil
+}

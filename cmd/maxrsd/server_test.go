@@ -1,0 +1,257 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"maxrs"
+)
+
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	eng, err := maxrs.NewEngine(&maxrs.Options{BlockSize: 512, Memory: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	srv := newServer(eng, 4, 16)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func do(t *testing.T, method, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+const testCSV = `# three close points and one outlier
+1,1,1
+2,2,5
+3,1,1
+90,90,2
+`
+
+func putDataset(t *testing.T, ts *httptest.Server, name, csv string) {
+	t.Helper()
+	resp, body := do(t, http.MethodPut, ts.URL+"/datasets/"+name, csv)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("put dataset: status %d, body %s", resp.StatusCode, body)
+	}
+}
+
+func query(t *testing.T, ts *httptest.Server, req string) (int, queryResponse) {
+	t.Helper()
+	resp, body := do(t, http.MethodPost, ts.URL+"/query", req)
+	var qr queryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatalf("bad query response %s: %v", body, err)
+		}
+	}
+	return resp.StatusCode, qr
+}
+
+func TestServeMaxRSAndCache(t *testing.T) {
+	_, ts := newTestServer(t)
+	putDataset(t, ts, "demo", testCSV)
+
+	code, qr := query(t, ts, `{"dataset":"demo","op":"maxrs","w":4,"h":4}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(qr.Results) != 1 || qr.Results[0].Score != 7 {
+		t.Fatalf("results = %+v, want one result with score 7", qr.Results)
+	}
+	if qr.Cached {
+		t.Fatal("first query must not be cached")
+	}
+	if qr.Results[0].Stats.Total == 0 {
+		t.Fatal("per-query stats must be non-zero")
+	}
+
+	code, qr2 := query(t, ts, `{"dataset":"demo","op":"maxrs","w":4,"h":4}`)
+	if code != http.StatusOK || !qr2.Cached {
+		t.Fatalf("second identical query: status %d cached %v, want cache hit", code, qr2.Cached)
+	}
+	if qr2.Results[0].Score != qr.Results[0].Score {
+		t.Fatal("cached result differs")
+	}
+
+	// A different size must miss the cache.
+	if _, qr3 := query(t, ts, `{"dataset":"demo","op":"maxrs","w":2,"h":2}`); qr3.Cached {
+		t.Fatal("different parameters must not hit the cache")
+	}
+}
+
+func TestServeTopKAndMaxCRS(t *testing.T) {
+	_, ts := newTestServer(t)
+	putDataset(t, ts, "demo", testCSV)
+
+	code, qr := query(t, ts, `{"dataset":"demo","op":"topk","w":4,"h":4,"k":3}`)
+	if code != http.StatusOK {
+		t.Fatalf("topk status %d", code)
+	}
+	if len(qr.Results) != 2 { // cluster (7) then the outlier (2)
+		t.Fatalf("topk results = %d, want 2", len(qr.Results))
+	}
+	if qr.Results[0].Score != 7 || qr.Results[1].Score != 2 {
+		t.Fatalf("topk scores = %g, %g want 7, 2", qr.Results[0].Score, qr.Results[1].Score)
+	}
+
+	code, qr = query(t, ts, `{"dataset":"demo","op":"maxcrs","diameter":5}`)
+	if code != http.StatusOK || len(qr.Results) != 1 {
+		t.Fatalf("maxcrs status %d results %+v", code, qr.Results)
+	}
+	if qr.Results[0].Score < 7 {
+		t.Fatalf("maxcrs score = %g, want ≥ 7 (circle of diameter 5 covers the cluster)", qr.Results[0].Score)
+	}
+}
+
+func TestServeValidationAndErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	putDataset(t, ts, "demo", testCSV)
+
+	if code, _ := query(t, ts, `{"dataset":"nope","op":"maxrs","w":4,"h":4}`); code != http.StatusNotFound {
+		t.Fatalf("unknown dataset: status %d, want 404", code)
+	}
+	if code, _ := query(t, ts, `{"dataset":"demo","op":"bogus"}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown op: status %d, want 400", code)
+	}
+	if code, _ := query(t, ts, `{"dataset":"demo","op":"maxrs","w":-1,"h":4}`); code != http.StatusBadRequest {
+		t.Fatalf("bad size: status %d, want 400", code)
+	}
+	resp, body := do(t, http.MethodPut, ts.URL+"/datasets/bad", "1,notanumber\n")
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "line 1") {
+		t.Fatalf("bad CSV: status %d body %s, want 400 with line number", resp.StatusCode, body)
+	}
+	resp, _ = do(t, http.MethodPut, ts.URL+"/datasets/inf", "1,+Inf\n")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("Inf CSV: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestDeleteReleasesBlocks(t *testing.T) {
+	srv, ts := newTestServer(t)
+	putDataset(t, ts, "demo", testCSV)
+	if srv.eng.BlocksInUse() == 0 {
+		t.Fatal("dataset should occupy blocks")
+	}
+	resp, body := do(t, http.MethodDelete, ts.URL+"/datasets/demo", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d body %s", resp.StatusCode, body)
+	}
+	if n := srv.eng.BlocksInUse(); n != 0 {
+		t.Fatalf("BlocksInUse = %d after delete, want 0", n)
+	}
+	if code, _ := query(t, ts, `{"dataset":"demo","op":"maxrs","w":4,"h":4}`); code != http.StatusNotFound {
+		t.Fatalf("query after delete: status %d, want 404", code)
+	}
+	// Replacing a dataset under the same name must not leak the old copy.
+	putDataset(t, ts, "demo", testCSV)
+	before := srv.eng.BlocksInUse()
+	putDataset(t, ts, "demo", testCSV)
+	if n := srv.eng.BlocksInUse(); n != before {
+		t.Fatalf("BlocksInUse = %d after replace, want %d", n, before)
+	}
+}
+
+func TestServerLocalPathConfinement(t *testing.T) {
+	srv, ts := newTestServer(t)
+	// Disabled without -datadir.
+	resp, body := do(t, http.MethodPut, ts.URL+"/datasets/x?path=whatever.csv", "")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("path load without datadir: status %d body %s, want 403", resp.StatusCode, body)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(dir+"/ok.csv", []byte("1,1\n2,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv.dataDir = dir
+	resp, body = do(t, http.MethodPut, ts.URL+"/datasets/x?path=ok.csv", "")
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("path load: status %d body %s", resp.StatusCode, body)
+	}
+	// Escapes fail — both plain .. traversal and symlinks out of the root.
+	resp, body = do(t, http.MethodPut, ts.URL+"/datasets/x?path=../../etc/passwd", "")
+	if resp.StatusCode == http.StatusCreated || strings.Contains(string(body), "root:") {
+		t.Fatalf("escape attempt: status %d body %s", resp.StatusCode, body)
+	}
+	if err := os.Symlink("/etc", dir+"/link"); err == nil {
+		resp, body = do(t, http.MethodPut, ts.URL+"/datasets/x?path=link/passwd", "")
+		if resp.StatusCode == http.StatusCreated || strings.Contains(string(body), "root:") {
+			t.Fatalf("symlink escape: status %d body %s", resp.StatusCode, body)
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, ts := newTestServer(t)
+	// Disable the result cache: every request must actually traverse the
+	// worker pool and the shared engine, or this tests nothing.
+	srv.cache = newResultCache(0)
+	putDataset(t, ts, "demo", testCSV)
+
+	// A reference answer per query size, computed sequentially.
+	want := make(map[int]float64)
+	for size := 1; size <= 4; size++ {
+		code, qr := query(t, ts, fmt.Sprintf(`{"dataset":"demo","op":"maxrs","w":%d,"h":%d}`, size, size))
+		if code != http.StatusOK {
+			t.Fatalf("seed query %d: status %d", size, code)
+		}
+		want[size] = qr.Results[0].Score
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				size := 1 + (g+i)%4
+				code, qr := query(t, ts, fmt.Sprintf(`{"dataset":"demo","op":"maxrs","w":%d,"h":%d}`, size, size))
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("goroutine %d: status %d", g, code)
+					return
+				}
+				if qr.Results[0].Score != want[size] {
+					errs <- fmt.Errorf("goroutine %d: score %g, want %g", g, qr.Results[0].Score, want[size])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	// Every query's blocks must have been returned.
+	if n := srv.eng.BlocksInUse(); n != srv.datasets["demo"].ds.Blocks() {
+		t.Fatalf("BlocksInUse = %d, want only the dataset's %d", n, srv.datasets["demo"].ds.Blocks())
+	}
+}

@@ -1,0 +1,263 @@
+package maxrs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// testDataset loads a pseudo-random weighted dataset large enough to push
+// ExactMaxRS through external recursion under the tiny test EM budget.
+func testDataset(t *testing.T, e *Engine, n int) *Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	objs := make([]Object, n)
+	for i := range objs {
+		objs[i] = Object{
+			X:      math.Floor(rng.Float64() * 8000),
+			Y:      math.Floor(rng.Float64() * 8000),
+			Weight: float64(1 + rng.Intn(5)),
+		}
+	}
+	d, err := e.Load(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// mixedQuery runs the i-th query of the deterministic mixed workload and
+// returns a comparable fingerprint of its results.
+func mixedQuery(e *Engine, d *Dataset, i int) (string, error) {
+	size := float64(50 * (1 + i%5))
+	switch i % 5 {
+	case 0:
+		r, err := e.MaxRS(d, size, size)
+		return fmt.Sprintf("maxrs %+v", r), err
+	case 1:
+		rs, err := e.TopK(d, size, size, 3)
+		return fmt.Sprintf("topk %+v", rs), err
+	case 2:
+		r, err := e.MinRS(d, size, size)
+		return fmt.Sprintf("minrs %+v", r), err
+	case 3:
+		r, err := e.CountRS(d, size, size)
+		return fmt.Sprintf("countrs %+v", r), err
+	default:
+		r, err := e.MaxCRS(d, size)
+		return fmt.Sprintf("maxcrs %+v", r), err
+	}
+}
+
+// TestConcurrentQueriesMatchSequential drives N goroutines of mixed
+// MaxRS/TopK/MinRS/CountRS/MaxCRS queries against one shared engine and
+// dataset and requires bit-identical results — including the per-query
+// Stats — versus sequential execution. Run under -race in CI.
+func TestConcurrentQueriesMatchSequential(t *testing.T) {
+	e, err := NewEngine(&Options{BlockSize: 512, Memory: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	d := testDataset(t, e, 1500)
+
+	const queries = 20
+	want := make([]string, queries)
+	for i := range want {
+		s, err := mixedQuery(e, d, i)
+		if err != nil {
+			t.Fatalf("sequential query %d: %v", i, err)
+		}
+		want[i] = s
+	}
+
+	const goroutines = 10
+	got := make([][]string, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got[g] = make([]string, queries)
+			// Each goroutine runs the full mix in a different order.
+			for k := 0; k < queries; k++ {
+				i := (k + g) % queries
+				s, err := mixedQuery(e, d, i)
+				if err != nil {
+					errs[g] = fmt.Errorf("query %d: %w", i, err)
+					return
+				}
+				got[g][i] = s
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	for g := range got {
+		for i := range want {
+			if got[g][i] != want[i] {
+				t.Fatalf("goroutine %d query %d:\n got  %s\n want %s", g, i, got[g][i], want[i])
+			}
+		}
+	}
+
+	// Every query's intermediates must be back; only the dataset remains.
+	if n := e.BlocksInUse(); n != d.Blocks() {
+		t.Fatalf("BlocksInUse = %d after queries, want dataset's %d", n, d.Blocks())
+	}
+	if err := d.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.BlocksInUse(); n != 0 {
+		t.Fatalf("BlocksInUse = %d after release, want 0", n)
+	}
+}
+
+// TestConcurrentBaselineAlgorithms exercises the NaiveSweep and ASBTree
+// baselines concurrently too — they share the engine env rather than the
+// solver, so their reentrancy is separately load-bearing.
+func TestConcurrentBaselineAlgorithms(t *testing.T) {
+	for _, alg := range []Algorithm{NaiveSweep, ASBTree, InMemory} {
+		t.Run(alg.String(), func(t *testing.T) {
+			e, err := NewEngine(&Options{BlockSize: 512, Memory: 4096, Algorithm: alg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			d := testDataset(t, e, 400)
+			want, err := e.MaxRS(d, 200, 200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			errs := make([]error, 8)
+			for g := range errs {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					got, err := e.MaxRS(d, 200, 200)
+					if err != nil {
+						errs[g] = err
+						return
+					}
+					if got != want {
+						errs[g] = fmt.Errorf("got %+v, want %+v", got, want)
+					}
+				}(g)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if n := e.BlocksInUse(); n != d.Blocks() {
+				t.Fatalf("BlocksInUse = %d, want %d", n, d.Blocks())
+			}
+		})
+	}
+}
+
+// TestDatasetReleaseDuringQueries releases a dataset while queries are in
+// flight: running queries either finish normally or observe
+// ErrDatasetReleased (if they started after Release), and the blocks are
+// freed exactly once, when the last query drains.
+func TestDatasetReleaseDuringQueries(t *testing.T) {
+	e, err := NewEngine(&Options{BlockSize: 512, Memory: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	d := testDataset(t, e, 800)
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make([]error, 8)
+	for g := range errs {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 4; i++ {
+				_, err := e.MaxRS(d, 100, 100)
+				if err != nil && err != ErrDatasetReleased {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	close(start)
+	if err := d.Release(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	if n := e.BlocksInUse(); n != 0 {
+		t.Fatalf("BlocksInUse = %d after release + drain, want 0", n)
+	}
+	// Queries after release must fail cleanly.
+	if _, err := e.MaxRS(d, 100, 100); err != ErrDatasetReleased {
+		t.Fatalf("query on released dataset: err = %v, want ErrDatasetReleased", err)
+	}
+	if err := d.Release(); err != nil {
+		t.Fatalf("double release: %v", err)
+	}
+}
+
+// TestPerQueryStats checks that Result.Stats reports this query's cost:
+// deterministic across runs, additive against the global counters, and
+// zero-read for nothing.
+func TestPerQueryStats(t *testing.T) {
+	e, err := NewEngine(&Options{BlockSize: 512, Memory: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	d := testDataset(t, e, 1000)
+	e.ResetStats()
+
+	r1, err := e.MaxRS(d, 300, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.Total() == 0 {
+		t.Fatal("per-query stats are zero")
+	}
+	global := e.Stats()
+	if r1.Stats.Reads != global.Reads || r1.Stats.Writes != global.Writes {
+		t.Fatalf("solo query stats %+v != global delta %+v", r1.Stats, global)
+	}
+	r2, err := e.MaxRS(d, 300, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Stats != r1.Stats {
+		t.Fatalf("same query, different stats: %+v vs %+v", r2.Stats, r1.Stats)
+	}
+
+	// TopK rounds: per-round stats sum to the call's global delta.
+	e.ResetStats()
+	rs, err := e.TopK(d, 300, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for _, r := range rs {
+		sum += r.Stats.Total()
+	}
+	if g := e.Stats().Total(); sum != g {
+		t.Fatalf("topk per-round stats sum %d != global delta %d", sum, g)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"maxrs/internal/crs"
+	"maxrs/internal/em"
 	"maxrs/internal/geom"
 )
 
@@ -19,6 +20,9 @@ type CRSResult struct {
 	// optimum that Score attains (1/4 for ApproxMaxCRS, 1 for the exact
 	// solver).
 	LowerBoundRatio float64
+	// Stats is the I/O cost of this query alone (zero for the in-memory
+	// exact solver).
+	Stats QueryStats
 }
 
 // MaxCRS approximates the circular MaxRS problem with the paper's
@@ -27,11 +31,16 @@ type CRSResult struct {
 // center and four shifted candidates. The answer is guaranteed to cover
 // at least 1/4 of the optimal weight (Theorem 3) and empirically ~90% for
 // realistic densities (Fig. 17).
-func (e *Engine) MaxCRS(d *Dataset, diameter float64) (CRSResult, error) {
+func (e *Engine) MaxCRS(d *Dataset, diameter float64) (_ CRSResult, err error) {
 	if !(diameter > 0) || math.IsInf(diameter, 0) {
-		return CRSResult{}, fmt.Errorf("maxrs: diameter %g must be positive and finite", diameter)
+		return CRSResult{}, fmt.Errorf("%w: diameter %g must be positive and finite", ErrInvalidQuery, diameter)
 	}
-	res, err := crs.Approx(e.solver, d.file, diameter)
+	if err := d.acquire(); err != nil {
+		return CRSResult{}, err
+	}
+	defer d.endQuery(&err)
+	sc := new(em.ScopeStats)
+	res, err := crs.ApproxScoped(e.solver, d.file, diameter, sc)
 	if err != nil {
 		return CRSResult{}, err
 	}
@@ -39,15 +48,20 @@ func (e *Engine) MaxCRS(d *Dataset, diameter float64) (CRSResult, error) {
 		Location:        Point{X: res.Center.X, Y: res.Center.Y},
 		Score:           res.Weight,
 		LowerBoundRatio: 0.25,
+		Stats:           queryStatsOf(sc),
 	}, nil
 }
 
-// MaxCRS is the one-shot convenience form of Engine.MaxCRS.
-func MaxCRS(objs []Object, diameter float64, opts *Options) (CRSResult, error) {
+// MaxCRS is the one-shot convenience form of Engine.MaxCRS: it builds an
+// engine, loads objs, solves, and closes the engine on every path — with
+// Options.OnDisk the backing temp file is removed even when loading or
+// solving fails.
+func MaxCRS(objs []Object, diameter float64, opts *Options) (_ CRSResult, err error) {
 	e, err := NewEngine(opts)
 	if err != nil {
 		return CRSResult{}, err
 	}
+	defer closeEngine(e, &err)
 	d, err := e.Load(objs)
 	if err != nil {
 		return CRSResult{}, err

@@ -19,47 +19,72 @@ import (
 // covers, and recurses, returning up to k results in non-increasing score
 // order. Results therefore cover disjoint object subsets (their rectangles
 // may still geometrically overlap empty space). Iteration stops early when
-// no remaining object can be covered.
+// no remaining object can be covered. Safe to call concurrently with other
+// queries; each Result's Stats is the cost of its round alone.
 //
 // Each round costs one full MaxRS solve plus one linear filtering scan, so
 // the total is k times the cost of Engine.MaxRS.
-func (e *Engine) TopK(d *Dataset, w, h float64, k int) ([]Result, error) {
+func (e *Engine) TopK(d *Dataset, w, h float64, k int) (_ []Result, err error) {
 	if err := checkQuery(w, h); err != nil {
 		return nil, err
 	}
 	if k < 1 {
-		return nil, fmt.Errorf("maxrs: k = %d must be ≥ 1", k)
+		return nil, fmt.Errorf("%w: k = %d must be ≥ 1", ErrInvalidQuery, k)
 	}
-	results := make([]Result, 0, k)
+	if err := d.acquire(); err != nil {
+		return nil, err
+	}
+	defer d.endQuery(&err)
+	sc := new(em.ScopeStats)
+	env := e.env.WithScope(sc)
+	// Every round removes ≥ 1 object, so results never exceed d.Len();
+	// don't let an untrusted huge k size the allocation.
+	results := make([]Result, 0, min(k, d.Len()))
 	cur := d.file
 	owned := false // whether cur is an intermediate we must release
+	defer func() {
+		if owned {
+			_ = cur.Release()
+		}
+	}()
+	var prev QueryStats // scope snapshot at the start of the round
 	for round := 0; round < k; round++ {
 		if cur.Size() == 0 {
 			break
 		}
-		res, err := e.solver.SolveObjects(cur, w, h)
+		res, err := e.solver.SolveObjectsScoped(cur, w, h, sc)
 		if err != nil {
 			return nil, err
 		}
 		if res.Sum <= 0 {
 			break // nothing left to cover
 		}
-		results = append(results, fromSweep(res))
-		rect := geom.RectFromCenter(res.Best(), w, h)
-		next, err := filterObjects(e.env, cur, func(o rec.Object) bool {
-			return !rect.Contains(geom.Point{X: o.X, Y: o.Y})
-		})
-		if err != nil {
-			return nil, err
-		}
-		if owned {
-			if err := cur.Release(); err != nil {
+		out := fromSweep(res)
+		if round < k-1 {
+			// The final round's filtrate would never be solved — skip the
+			// pass instead of paying its scan + rewrite.
+			rect := geom.RectFromCenter(res.Best(), w, h)
+			next, err := filterObjects(env, cur, func(o rec.Object) bool {
+				return !rect.Contains(geom.Point{X: o.X, Y: o.Y})
+			})
+			if err != nil {
 				return nil, err
 			}
+			if owned {
+				if err := cur.Release(); err != nil {
+					_ = next.Release()
+					return nil, err
+				}
+			}
+			cur, owned = next, true
 		}
-		cur, owned = next, true
+		now := queryStatsOf(sc)
+		out.Stats = QueryStats{Reads: now.Reads - prev.Reads, Writes: now.Writes - prev.Writes}
+		prev = now
+		results = append(results, out)
 	}
 	if owned {
+		owned = false
 		if err := cur.Release(); err != nil {
 			return nil, err
 		}
@@ -68,13 +93,38 @@ func (e *Engine) TopK(d *Dataset, w, h float64, k int) ([]Result, error) {
 }
 
 // filterObjects streams in into a fresh file keeping objects where keep
-// returns true.
+// returns true. The input is read and the output written under env's stat
+// scope; on error the partial output is released.
 func filterObjects(env em.Env, in *em.File, keep func(rec.Object) bool) (*em.File, error) {
-	rr, err := em.NewRecordReader(in, rec.ObjectCodec{})
+	return transformObjects(env, in, func(o rec.Object, emit func(rec.Object) error) error {
+		if keep(o) {
+			return emit(o)
+		}
+		return nil
+	})
+}
+
+// mapObjects streams in into a fresh file applying f to every record.
+func mapObjects(env em.Env, in *em.File, f func(rec.Object) rec.Object) (*em.File, error) {
+	return transformObjects(env, in, func(o rec.Object, emit func(rec.Object) error) error {
+		return emit(f(o))
+	})
+}
+
+// transformObjects streams in into a fresh file on env's disk via fn,
+// which may emit zero or more records per input. On error no blocks of
+// the partial output stay allocated.
+func transformObjects(env em.Env, in *em.File, fn func(o rec.Object, emit func(rec.Object) error) error) (_ *em.File, err error) {
+	rr, err := em.NewRecordReaderScoped(in, rec.ObjectCodec{}, env.Scope)
 	if err != nil {
 		return nil, err
 	}
-	out := em.NewFile(env.Disk)
+	out := env.NewFile()
+	defer func() {
+		if err != nil {
+			_ = out.Release()
+		}
+	}()
 	w, err := em.NewRecordWriter(out, rec.ObjectCodec{})
 	if err != nil {
 		return nil, err
@@ -87,10 +137,8 @@ func filterObjects(env em.Env, in *em.File, keep func(rec.Object) bool) (*em.Fil
 			}
 			return nil, err
 		}
-		if keep(o) {
-			if err := w.Write(o); err != nil {
-				return nil, err
-			}
+		if err := fn(o, w.Write); err != nil {
+			return nil, err
 		}
 	}
 	if err := w.Close(); err != nil {
@@ -103,78 +151,55 @@ func filterObjects(env em.Env, in *em.File, keep func(rec.Object) bool) (*em.Fil
 // covered weight — the MinRS problem of §8. It negates every weight and
 // runs ExactMaxRS, so a location whose rectangle covers nothing is a valid
 // (score 0) answer when one exists; with negative-weight objects present
-// the optimum may be strictly below zero.
+// the optimum may be strictly below zero. Safe to call concurrently with
+// other queries.
 func (e *Engine) MinRS(d *Dataset, w, h float64) (Result, error) {
-	if err := checkQuery(w, h); err != nil {
-		return Result{}, err
-	}
-	negated, err := mapObjects(e.env, d.file, func(o rec.Object) rec.Object {
+	res, err := e.solveMapped(d, w, h, func(o rec.Object) rec.Object {
 		o.W = -o.W
 		return o
 	})
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := e.solver.SolveObjects(negated, w, h)
-	if err != nil {
-		return Result{}, err
-	}
-	if err := negated.Release(); err != nil {
-		return Result{}, err
-	}
-	out := fromSweep(res)
-	out.Score = -out.Score
-	return out, nil
+	res.Score = -res.Score
+	return res, nil
 }
 
 // CountRS solves MaxRS under the COUNT aggregate (§2): every object
-// contributes 1 regardless of its weight.
+// contributes 1 regardless of its weight. Safe to call concurrently with
+// other queries.
 func (e *Engine) CountRS(d *Dataset, w, h float64) (Result, error) {
-	if err := checkQuery(w, h); err != nil {
-		return Result{}, err
-	}
-	unit, err := mapObjects(e.env, d.file, func(o rec.Object) rec.Object {
+	return e.solveMapped(d, w, h, func(o rec.Object) rec.Object {
 		o.W = 1
 		return o
 	})
-	if err != nil {
-		return Result{}, err
-	}
-	res, err := e.solver.SolveObjects(unit, w, h)
-	if err != nil {
-		return Result{}, err
-	}
-	if err := unit.Release(); err != nil {
-		return Result{}, err
-	}
-	return fromSweep(res), nil
 }
 
-// mapObjects streams in into a fresh file applying f to every record.
-func mapObjects(env em.Env, in *em.File, f func(rec.Object) rec.Object) (*em.File, error) {
-	rr, err := em.NewRecordReader(in, rec.ObjectCodec{})
+// solveMapped runs ExactMaxRS on a weight-transformed copy of the dataset,
+// releasing the intermediate file on every path (including solve errors).
+func (e *Engine) solveMapped(d *Dataset, w, h float64, f func(rec.Object) rec.Object) (_ Result, err error) {
+	if err := checkQuery(w, h); err != nil {
+		return Result{}, err
+	}
+	if err := d.acquire(); err != nil {
+		return Result{}, err
+	}
+	defer d.endQuery(&err)
+	sc := new(em.ScopeStats)
+	mapped, err := mapObjects(e.env.WithScope(sc), d.file, f)
 	if err != nil {
-		return nil, err
+		return Result{}, err
 	}
-	out := em.NewFile(env.Disk)
-	w, err := em.NewRecordWriter(out, rec.ObjectCodec{})
+	defer func() {
+		if rerr := mapped.Release(); rerr != nil && err == nil {
+			err = rerr
+		}
+	}()
+	res, err := e.solver.SolveObjectsScoped(mapped, w, h, sc)
 	if err != nil {
-		return nil, err
+		return Result{}, err
 	}
-	for {
-		o, err := rr.Read()
-		if err != nil {
-			if errors.Is(err, io.EOF) {
-				break
-			}
-			return nil, err
-		}
-		if err := w.Write(f(o)); err != nil {
-			return nil, err
-		}
-	}
-	if err := w.Close(); err != nil {
-		return nil, err
-	}
+	out := fromSweep(res)
+	out.Stats = queryStatsOf(sc)
 	return out, nil
 }

@@ -37,9 +37,31 @@ const (
 
 // asbTree is the on-disk tree plus its buffer pool.
 type asbTree struct {
-	disk *em.Disk
-	pool *em.BufferPool
-	root em.BlockID
+	disk   *em.Disk
+	pool   *em.BufferPool
+	root   em.BlockID
+	blocks []em.BlockID // every node block, for release()
+}
+
+// alloc reserves one tree node block, remembering it for release().
+func (t *asbTree) alloc() em.BlockID {
+	id := t.disk.Alloc()
+	t.blocks = append(t.blocks, id)
+	return id
+}
+
+// release frees every node block of the tree. The cached (possibly dirty)
+// frames are dropped without write-back — the tree is dead, so flushing
+// would only charge transfers the sweep never needed. Safe to call more
+// than once.
+func (t *asbTree) release() error {
+	for _, id := range t.blocks {
+		if err := t.disk.Free(id); err != nil {
+			return err
+		}
+	}
+	t.blocks = nil
+	return nil
 }
 
 type asbNodeRef struct {
@@ -60,7 +82,8 @@ func i64at(b []byte, off int) int64 { return int64(binary.LittleEndian.Uint64(b[
 func putI64at(b []byte, off int, v int64) { binary.LittleEndian.PutUint64(b[off:], uint64(v)) }
 
 // buildASBTree bulk-loads the tree from a sorted, deduplicated key file.
-func buildASBTree(env em.Env, keys *em.File) (*asbTree, error) {
+// On error no node blocks stay allocated.
+func buildASBTree(env em.Env, keys *em.File) (tree *asbTree, err error) {
 	if env.B() < asbMinBlockSize {
 		return nil, fmt.Errorf("baseline: block size %d too small for aSB-tree nodes", env.B())
 	}
@@ -69,7 +92,13 @@ func buildASBTree(env em.Env, keys *em.File) (*asbTree, error) {
 	if err != nil {
 		return nil, err
 	}
+	pool.SetScope(env.Scope)
 	t := &asbTree{disk: env.Disk, pool: pool}
+	defer func() {
+		if err != nil {
+			_ = t.release()
+		}
+	}()
 	leafCap := (env.B() - asbHeader) / asbLeafEntry
 	intCap := (env.B() - asbHeader) / asbIntEntry
 
@@ -86,7 +115,7 @@ func buildASBTree(env em.Env, keys *em.File) (*asbTree, error) {
 		if count == 0 {
 			return nil
 		}
-		id := t.disk.Alloc()
+		id := t.alloc()
 		data, err := pool.GetNew(id)
 		if err != nil {
 			return err
@@ -137,7 +166,7 @@ func buildASBTree(env em.Env, keys *em.File) (*asbTree, error) {
 			if hi > len(level) {
 				hi = len(level)
 			}
-			id := t.disk.Alloc()
+			id := t.alloc()
 			data, err := pool.GetNew(id)
 			if err != nil {
 				return nil, err
@@ -301,7 +330,10 @@ func (t *asbTree) findMax() (geom.Interval, error) {
 }
 
 // ASBTreeSweep answers MaxRS for the objects in objFile with a w×h
-// rectangle using the aSB-Tree plane sweep.
+// rectangle using the aSB-Tree plane sweep. Every intermediate file and
+// the tree's node blocks are freed on all paths, including errors
+// (File.Release is idempotent, so the deferred sweeps after the prompt
+// in-line releases are free).
 func ASBTreeSweep(env em.Env, objFile *em.File, w, h float64) (sweep.Result, error) {
 	if err := env.Validate(); err != nil {
 		return sweep.Result{}, err
@@ -316,8 +348,10 @@ func ASBTreeSweep(env em.Env, objFile *em.File, w, h float64) (sweep.Result, err
 	if err != nil {
 		return sweep.Result{}, err
 	}
+	defer events.Release()
 	// Key universe: sorted distinct x-edges.
-	edges := em.NewFile(env.Disk)
+	edges := env.NewFile()
+	defer edges.Release()
 	xw, err := em.NewRecordWriter(edges, rec.Float64Codec{})
 	if err != nil {
 		return sweep.Result{}, err
@@ -352,6 +386,7 @@ func ASBTreeSweep(env em.Env, objFile *em.File, w, h float64) (sweep.Result, err
 	if err != nil {
 		return sweep.Result{}, err
 	}
+	defer sortedEdges.Release()
 	if err := edges.Release(); err != nil {
 		return sweep.Result{}, err
 	}
@@ -359,6 +394,7 @@ func ASBTreeSweep(env em.Env, objFile *em.File, w, h float64) (sweep.Result, err
 	if err != nil {
 		return sweep.Result{}, err
 	}
+	defer keys.Release()
 	if err := sortedEdges.Release(); err != nil {
 		return sweep.Result{}, err
 	}
@@ -366,6 +402,7 @@ func ASBTreeSweep(env em.Env, objFile *em.File, w, h float64) (sweep.Result, err
 	if err != nil {
 		return sweep.Result{}, err
 	}
+	defer tree.release()
 	if err := keys.Release(); err != nil {
 		return sweep.Result{}, err
 	}
@@ -374,6 +411,7 @@ func ASBTreeSweep(env em.Env, objFile *em.File, w, h float64) (sweep.Result, err
 	if err != nil {
 		return sweep.Result{}, err
 	}
+	defer sortedEvents.Release()
 	if err := events.Release(); err != nil {
 		return sweep.Result{}, err
 	}
@@ -383,6 +421,9 @@ func ASBTreeSweep(env em.Env, objFile *em.File, w, h float64) (sweep.Result, err
 		return sweep.Result{}, err
 	}
 	if err := sortedEvents.Release(); err != nil {
+		return sweep.Result{}, err
+	}
+	if err := tree.release(); err != nil {
 		return sweep.Result{}, err
 	}
 	return res, nil
@@ -456,13 +497,18 @@ func asbSweep(tree *asbTree, events *em.File) (sweep.Result, error) {
 }
 
 // dedupeSorted streams a sorted float64 file into a new file with
-// duplicates removed.
-func dedupeSorted(env em.Env, in *em.File) (*em.File, error) {
+// duplicates removed, releasing the partial output on error.
+func dedupeSorted(env em.Env, in *em.File) (_ *em.File, err error) {
 	rr, err := em.NewRecordReader(in, rec.Float64Codec{})
 	if err != nil {
 		return nil, err
 	}
-	out := em.NewFile(env.Disk)
+	out := env.NewFile()
+	defer func() {
+		if err != nil {
+			_ = out.Release()
+		}
+	}()
 	w, err := em.NewRecordWriter(out, rec.Float64Codec{})
 	if err != nil {
 		return nil, err

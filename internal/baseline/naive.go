@@ -33,12 +33,18 @@ import (
 
 // transformToEvents streams the object file into an unsorted event file
 // (two events per object's transformed rectangle) and reports the count.
-func transformToEvents(env em.Env, objFile *em.File, w, h float64) (*em.File, int64, error) {
-	rr, err := em.NewRecordReader(objFile, rec.ObjectCodec{})
+// On error the partial output is released.
+func transformToEvents(env em.Env, objFile *em.File, w, h float64) (_ *em.File, _ int64, err error) {
+	rr, err := em.NewRecordReaderScoped(objFile, rec.ObjectCodec{}, env.Scope)
 	if err != nil {
 		return nil, 0, err
 	}
-	events := em.NewFile(env.Disk)
+	events := env.NewFile()
+	defer func() {
+		if err != nil {
+			_ = events.Release()
+		}
+	}()
 	ew, err := em.NewRecordWriter(events, rec.EventCodec{})
 	if err != nil {
 		return nil, 0, err
@@ -96,16 +102,18 @@ func NaiveSweep(env em.Env, objFile *em.File, w, h float64) (sweep.Result, error
 	// Practical shortcut (paper §7.2.4): when the dataset fits in the
 	// buffer, a single scan loads it and the sweep runs in memory.
 	if objFile.Size() <= int64(env.M) {
-		return naiveInMemory(objFile, w, h)
+		return naiveInMemory(env, objFile, w, h)
 	}
 	events, _, err := transformToEvents(env, objFile, w, h)
 	if err != nil {
 		return sweep.Result{}, err
 	}
+	defer events.Release()
 	sorted, err := extsort.Sort(env, events, rec.EventCodec{}, rec.Event.Less)
 	if err != nil {
 		return sweep.Result{}, err
 	}
+	defer sorted.Release()
 	if err := events.Release(); err != nil {
 		return sweep.Result{}, err
 	}
@@ -119,8 +127,8 @@ func NaiveSweep(env em.Env, objFile *em.File, w, h float64) (sweep.Result, error
 	return res, nil
 }
 
-func naiveInMemory(objFile *em.File, w, h float64) (sweep.Result, error) {
-	recs, err := em.ReadAll(objFile, rec.ObjectCodec{})
+func naiveInMemory(env em.Env, objFile *em.File, w, h float64) (sweep.Result, error) {
+	recs, err := em.ReadAllScoped(objFile, rec.ObjectCodec{}, env.Scope)
 	if err != nil {
 		return sweep.Result{}, err
 	}
@@ -138,7 +146,10 @@ func naiveExternalSweep(env em.Env, events *em.File) (sweep.Result, error) {
 	if err != nil {
 		return sweep.Result{}, err
 	}
-	status := em.NewFile(env.Disk) // empty status: weight 0 everywhere
+	status := env.NewFile() // empty status: weight 0 everywhere
+	// status is rewritten (old file released) per event; on an error return
+	// the closure frees whichever incarnation is current.
+	defer func() { _ = status.Release() }()
 
 	best := sweep.Result{Region: geom.Rect{
 		X: geom.Interval{Lo: math.Inf(-1), Hi: math.Inf(1)},
@@ -173,10 +184,11 @@ func naiveExternalSweep(env em.Env, events *em.File) (sweep.Result, error) {
 			if cur.Top {
 				d = -d
 			}
-			status, lineMax, lineIv, err = rewriteStatus(env, status, cur.X1, cur.X2, d)
-			if err != nil {
-				return sweep.Result{}, err
+			next, m, iv, rerr := rewriteStatus(env, status, cur.X1, cur.X2, d)
+			if rerr != nil {
+				return sweep.Result{}, rerr
 			}
+			status, lineMax, lineIv = next, m, iv
 			cur, err = er.Read()
 			if err != nil {
 				if errors.Is(err, io.EOF) {
@@ -203,13 +215,20 @@ func naiveExternalSweep(env em.Env, events *em.File) (sweep.Result, error) {
 
 // rewriteStatus streams the old status file into a fresh one, adding delta
 // on [x1, x2), and returns the new file together with the maximum
-// location-weight and a maximal interval attaining it.
-func rewriteStatus(env em.Env, old *em.File, x1, x2, delta float64) (*em.File, float64, geom.Interval, error) {
+// location-weight and a maximal interval attaining it. On success old is
+// released; on error old is kept (the caller still owns it) and the
+// partial output is released here.
+func rewriteStatus(env em.Env, old *em.File, x1, x2, delta float64) (_ *em.File, _ float64, _ geom.Interval, err error) {
 	rr, err := em.NewRecordReader(old, breakpointCodec{})
 	if err != nil {
 		return nil, 0, geom.Interval{}, err
 	}
-	out := em.NewFile(env.Disk)
+	out := env.NewFile()
+	defer func() {
+		if err != nil {
+			_ = out.Release()
+		}
+	}()
 	w, err := em.NewRecordWriter(out, breakpointCodec{})
 	if err != nil {
 		return nil, 0, geom.Interval{}, err

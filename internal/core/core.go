@@ -85,6 +85,13 @@ type Config struct {
 }
 
 // Solver runs ExactMaxRS instances under one EM environment.
+//
+// A Solver is safe for concurrent use: each Solve* call carries its own
+// per-call state (a task below), while the shared worker-slot semaphore
+// bounds the *total* extra goroutines across all in-flight solves at
+// Parallelism−1. Slot acquisition never blocks — every call's own
+// goroutine always makes progress inline — so concurrent solves cannot
+// deadlock on the pool, they only share it.
 type Solver struct {
 	env em.Env
 	cfg Config
@@ -131,6 +138,20 @@ func (s *Solver) release() { <-s.sem }
 // Env returns the solver's EM environment.
 func (s *Solver) Env() em.Env { return s.env }
 
+// task is the per-call state of one Solve* invocation: the shared Solver
+// plus an env copy carrying the call's stat scope, so concurrent solves on
+// one Solver charge their transfers to their own query. The receiver name
+// s is kept so the recursion reads the same as before; s.env (the task's
+// scoped env) shadows the embedded Solver's unscoped env.
+type task struct {
+	*Solver
+	env em.Env
+}
+
+func (s *Solver) task(sc *em.ScopeStats) *task {
+	return &task{Solver: s, env: s.env.WithScope(sc)}
+}
+
 // fanout returns m for the current configuration.
 func (s *Solver) fanout() int {
 	if s.cfg.Fanout > 1 {
@@ -163,14 +184,22 @@ type node struct {
 // rectangle: it transforms objects to rectangles (§5.1) and solves the
 // transformed problem. The object file is not modified.
 func (s *Solver) SolveObjects(objFile *em.File, w, h float64) (sweep.Result, error) {
+	return s.SolveObjectsScoped(objFile, w, h, nil)
+}
+
+// SolveObjectsScoped is SolveObjects with every block transfer of the call
+// — including reads of objFile and all intermediate files — additionally
+// charged to sc, enabling per-query I/O accounting under concurrency.
+func (s *Solver) SolveObjectsScoped(objFile *em.File, w, h float64, sc *em.ScopeStats) (sweep.Result, error) {
 	if w <= 0 || h <= 0 {
 		return sweep.Result{}, fmt.Errorf("core: query size %gx%g must be positive", w, h)
 	}
-	rr, err := em.NewRecordReader(objFile, rec.ObjectCodec{})
+	t := s.task(sc)
+	rr, err := em.NewRecordReaderScoped(objFile, rec.ObjectCodec{}, sc)
 	if err != nil {
 		return sweep.Result{}, err
 	}
-	events, edges, n, err := s.buildInput(func() (rec.WRect, error) {
+	events, edges, n, err := t.buildInput(func() (rec.WRect, error) {
 		o, err := rr.Read()
 		if err != nil {
 			return rec.WRect{}, err
@@ -180,28 +209,36 @@ func (s *Solver) SolveObjects(objFile *em.File, w, h float64) (sweep.Result, err
 	if err != nil {
 		return sweep.Result{}, err
 	}
-	return s.solveTransformed(events, edges, n)
+	return t.solveTransformed(events, edges, n)
 }
 
 // SolveRects answers the transformed MaxRS problem (Definition 5) for an
 // arbitrary weighted-rectangle file, e.g. circle MBRs from ApproxMaxCRS.
 func (s *Solver) SolveRects(rectFile *em.File) (sweep.Result, error) {
-	rr, err := em.NewRecordReader(rectFile, rec.WRectCodec{})
-	if err != nil {
-		return sweep.Result{}, err
-	}
-	events, edges, n, err := s.buildInput(rr.Read)
-	if err != nil {
-		return sweep.Result{}, err
-	}
-	return s.solveTransformed(events, edges, n)
+	return s.SolveRectsScoped(rectFile, nil)
 }
 
-func (s *Solver) solveTransformed(events, edges *em.File, count int64) (sweep.Result, error) {
+// SolveRectsScoped is SolveRects with per-call stat scoping (see
+// SolveObjectsScoped).
+func (s *Solver) SolveRectsScoped(rectFile *em.File, sc *em.ScopeStats) (sweep.Result, error) {
+	t := s.task(sc)
+	rr, err := em.NewRecordReaderScoped(rectFile, rec.WRectCodec{}, sc)
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	events, edges, n, err := t.buildInput(rr.Read)
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	return t.solveTransformed(events, edges, n)
+}
+
+func (s *task) solveTransformed(events, edges *em.File, count int64) (sweep.Result, error) {
 	slabFile, err := s.slabFileOf(events, edges, count)
 	if err != nil {
 		return sweep.Result{}, err
 	}
+	defer slabFile.Release()
 	res, err := BestOfSlabFile(slabFile)
 	if err != nil {
 		return sweep.Result{}, err
@@ -213,22 +250,29 @@ func (s *Solver) solveTransformed(events, edges *em.File, count int64) (sweep.Re
 }
 
 // slabFileOf sorts the freshly built input files and runs the recursion,
-// returning the final whole-space slab file. Input files are consumed.
-func (s *Solver) slabFileOf(events, edges *em.File, count int64) (*em.File, error) {
+// returning the final whole-space slab file. Input files are consumed on
+// every path, including errors.
+func (s *task) slabFileOf(events, edges *em.File, count int64) (*em.File, error) {
+	defer events.Release()
+	defer edges.Release()
 	sortedEvents, err := extsort.SortP(s.env, events, rec.PieceEventCodec{},
 		func(a, b rec.PieceEvent) bool { return a.Y() < b.Y() }, s.par)
 	if err != nil {
 		return nil, err
 	}
 	if err := events.Release(); err != nil {
+		_ = sortedEvents.Release()
 		return nil, err
 	}
 	sortedEdges, err := extsort.SortP(s.env, edges, rec.Float64Codec{},
 		func(a, b float64) bool { return a < b }, s.par)
 	if err != nil {
+		_ = sortedEvents.Release()
 		return nil, err
 	}
 	if err := edges.Release(); err != nil {
+		_ = sortedEvents.Release()
+		_ = sortedEdges.Release()
 		return nil, err
 	}
 	root := node{
@@ -241,10 +285,18 @@ func (s *Solver) slabFileOf(events, edges *em.File, count int64) (*em.File, erro
 }
 
 // buildInput drains next() until io.EOF, writing two events and four edge
-// values per rectangle (unsorted).
-func (s *Solver) buildInput(next func() (rec.WRect, error)) (events, edges *em.File, count int64, err error) {
-	events = em.NewFile(s.env.Disk)
-	edges = em.NewFile(s.env.Disk)
+// values per rectangle (unsorted). On error the partial outputs are
+// released.
+func (s *task) buildInput(next func() (rec.WRect, error)) (_, _ *em.File, _ int64, err error) {
+	events := s.env.NewFile()
+	edges := s.env.NewFile()
+	defer func() {
+		if err != nil {
+			_ = events.Release()
+			_ = edges.Release()
+		}
+	}()
+	var count int64
 	ew, err := em.NewRecordWriter(events, rec.PieceEventCodec{})
 	if err != nil {
 		return nil, nil, 0, err
@@ -293,9 +345,18 @@ func (s *Solver) buildInput(next func() (rec.WRect, error)) (events, edges *em.F
 	return events, edges, count, nil
 }
 
-// solve is Algorithm 2: recursive divide, conquer, MergeSweep.
-func (s *Solver) solve(n node, depth int) (*em.File, error) {
+// release frees the node's input files (best effort, for error paths).
+func (n node) release() {
+	_ = n.events.Release()
+	_ = n.edges.Release()
+}
+
+// solve is Algorithm 2: recursive divide, conquer, MergeSweep. The node's
+// input files are consumed on every path — success or error — as are all
+// intermediates, so a failed solve leaves no blocks allocated.
+func (s *task) solve(n node, depth int) (*em.File, error) {
 	if depth > maxDepth {
+		n.release()
 		return nil, fmt.Errorf("%w: depth %d exceeded", ErrNoProgress, depth)
 	}
 	if n.count <= s.capacity() {
@@ -303,28 +364,41 @@ func (s *Solver) solve(n node, depth int) (*em.File, error) {
 	}
 	bounds, err := s.chooseBounds(n)
 	if err != nil {
+		n.release()
 		return nil, err
 	}
 	if len(bounds) == 0 {
 		// No usable split point: every edge value sits on the slab border,
 		// which would mean every piece spans the slab — impossible because
 		// such pieces are diverted to R′ by the parent. Tripwire.
+		n.release()
 		return nil, fmt.Errorf("%w: no interior boundary in slab %v", ErrNoProgress, n.slab)
 	}
 	children, spanning, err := s.route(n, bounds)
 	if err != nil {
+		n.release()
 		return nil, err
 	}
+	releaseChildren := func() {
+		for _, c := range children {
+			c.release()
+		}
+		_ = spanning.Release()
+	}
 	if err := n.events.Release(); err != nil {
+		releaseChildren()
+		_ = n.edges.Release()
 		return nil, err
 	}
 	if err := n.edges.Release(); err != nil {
+		releaseChildren()
 		return nil, err
 	}
 	// The progress tripwire runs for every child before any is solved:
 	// returning mid-spawn would orphan goroutines still using the disk.
 	for i, c := range children {
 		if c.count >= n.count {
+			releaseChildren()
 			return nil, fmt.Errorf("%w: child %d kept all %d events", ErrNoProgress, i, n.count)
 		}
 	}
@@ -348,29 +422,51 @@ func (s *Solver) solve(n node, depth int) (*em.File, error) {
 		}
 	}
 	wg.Wait()
+	releaseSlabs := func() {
+		for _, sf := range slabFiles {
+			if sf != nil {
+				_ = sf.Release()
+			}
+		}
+		_ = spanning.Release()
+	}
 	for _, err := range childErrs {
 		if err != nil {
+			// Each failed child consumed its own inputs; free the slab files
+			// of the children that succeeded.
+			releaseSlabs()
 			return nil, err
 		}
 	}
 	out, err := s.mergeSweep(slabFiles, spanning, bounds, n.slab)
 	if err != nil {
+		releaseSlabs()
 		return nil, err
 	}
 	for _, sf := range slabFiles {
 		if err := sf.Release(); err != nil {
+			releaseSlabs()
+			_ = out.Release()
 			return nil, err
 		}
 	}
 	if err := spanning.Release(); err != nil {
+		_ = out.Release()
 		return nil, err
 	}
 	return out, nil
 }
 
 // baseCase loads a memory-sized node and runs the in-memory plane sweep
-// (Algorithm 2 line 9), writing the node's slab file.
-func (s *Solver) baseCase(n node) (*em.File, error) {
+// (Algorithm 2 line 9), writing the node's slab file. The node's input
+// files are consumed on every path; on error the partial output is
+// released too.
+func (s *task) baseCase(n node) (_ *em.File, err error) {
+	defer func() {
+		if err != nil {
+			n.release()
+		}
+	}()
 	rr, err := em.NewRecordReader(n.events, rec.PieceEventCodec{})
 	if err != nil {
 		return nil, err
@@ -393,7 +489,12 @@ func (s *Solver) baseCase(n node) (*em.File, error) {
 		}
 	}
 	tuples := sweep.Slab(rects, n.slab)
-	out := em.NewFile(s.env.Disk)
+	out := s.env.NewFile()
+	defer func() {
+		if err != nil {
+			_ = out.Release()
+		}
+	}()
 	tw, err := em.NewRecordWriter(out, rec.TupleCodec{})
 	if err != nil {
 		return nil, err

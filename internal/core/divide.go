@@ -16,7 +16,7 @@ import (
 // up to fanout−1 strictly increasing boundary values, each strictly inside
 // the node's slab, splitting the edge multiset into roughly equal parts
 // (the division criterion of §5.2.1 / Lemma 1).
-func (s *Solver) chooseBounds(n node) ([]float64, error) {
+func (s *task) chooseBounds(n node) ([]float64, error) {
 	m := s.fanout()
 	if m < 4 && s.cfg.Fanout == 0 {
 		// For pathologically small memories an auto-selected fan-out below
@@ -120,8 +120,9 @@ func childOfSup(bounds []float64, x float64) int {
 // that spans a whole child slab into the spanning file R′. Event order (y)
 // is preserved in every output file. It also splits the x-sorted
 // edge-value file, inserting the clipped boundary values at the splice
-// points so each child's file remains sorted.
-func (s *Solver) route(n node, bounds []float64) ([]node, *em.File, error) {
+// points so each child's file remains sorted. On error every partial
+// output file is released.
+func (s *task) route(n node, bounds []float64) (_ []node, _ *em.File, err error) {
 	nc := len(bounds) + 1
 	childEvents := make([]*em.File, nc)
 	eventWriters := make([]*em.RecordWriter[rec.PieceEvent], nc)
@@ -129,14 +130,24 @@ func (s *Solver) route(n node, bounds []float64) ([]node, *em.File, error) {
 	nLow := make([]int64, nc)  // right-fragment clips at each child's low bound
 	nHigh := make([]int64, nc) // left-fragment clips at each child's high bound
 	for i := range childEvents {
-		childEvents[i] = em.NewFile(s.env.Disk)
+		childEvents[i] = s.env.NewFile()
+	}
+	spanning := s.env.NewFile()
+	defer func() {
+		if err != nil {
+			for _, f := range childEvents {
+				_ = f.Release()
+			}
+			_ = spanning.Release()
+		}
+	}()
+	for i := range childEvents {
 		w, err := em.NewRecordWriter(childEvents[i], rec.PieceEventCodec{})
 		if err != nil {
 			return nil, nil, err
 		}
 		eventWriters[i] = w
 	}
-	spanning := em.NewFile(s.env.Disk)
 	spanWriter, err := em.NewRecordWriter(spanning, rec.PieceEventCodec{})
 	if err != nil {
 		return nil, nil, err
@@ -240,12 +251,22 @@ func (s *Solver) route(n node, bounds []float64) ([]node, *em.File, error) {
 // splitEdges routes the parent's sorted edge values into per-child sorted
 // files: nLow[i] copies of the child's low bound, then the parent values
 // falling in the child's x-range, then nHigh[i] copies of the high bound.
-func (s *Solver) splitEdges(n node, bounds []float64, nLow, nHigh []int64) ([]*em.File, error) {
+// On error every partial output file is released.
+func (s *task) splitEdges(n node, bounds []float64, nLow, nHigh []int64) (_ []*em.File, err error) {
 	nc := len(bounds) + 1
 	files := make([]*em.File, nc)
 	writers := make([]*em.RecordWriter[float64], nc)
+	defer func() {
+		if err != nil {
+			for _, f := range files {
+				if f != nil {
+					_ = f.Release()
+				}
+			}
+		}
+	}()
 	for i := range files {
-		files[i] = em.NewFile(s.env.Disk)
+		files[i] = s.env.NewFile()
 		w, err := em.NewRecordWriter(files[i], rec.Float64Codec{})
 		if err != nil {
 			return nil, err

@@ -74,7 +74,7 @@ func (ss *spanSource) advance() error {
 // rectangles currently covering each child (upSum), and emits the parent's
 // slab file: at every event y, the best (possibly merged across adjacent
 // children) max-interval.
-func (s *Solver) mergeSweep(slabFiles []*em.File, spanning *em.File, bounds []float64, slab geom.Interval) (*em.File, error) {
+func (s *task) mergeSweep(slabFiles []*em.File, spanning *em.File, bounds []float64, slab geom.Interval) (_ *em.File, err error) {
 	nc := len(slabFiles)
 	sources := make([]*tupleSource, nc)
 	for i, f := range slabFiles {
@@ -99,7 +99,12 @@ func (s *Solver) mergeSweep(slabFiles []*em.File, spanning *em.File, bounds []fl
 		}
 	}
 
-	out := em.NewFile(s.env.Disk)
+	out := s.env.NewFile()
+	defer func() {
+		if err != nil {
+			_ = out.Release()
+		}
+	}()
 	w, err := em.NewRecordWriter(out, rec.TupleCodec{})
 	if err != nil {
 		return nil, err

@@ -221,7 +221,24 @@ func (d *Disk) checkLocked(id BlockID) error {
 type Env struct {
 	Disk *Disk
 	M    int // main-memory budget in bytes
+
+	// Scope, when non-nil, additionally receives every transfer charged by
+	// streams created through this Env (Env.NewFile and the scoped reader
+	// constructors). It lets one query's I/O be accounted separately while
+	// the Disk's global counters keep the grand total.
+	Scope *ScopeStats
 }
+
+// WithScope returns a copy of e whose streams charge sc on top of the
+// disk-global counters.
+func (e Env) WithScope(sc *ScopeStats) Env {
+	e.Scope = sc
+	return e
+}
+
+// NewFile returns an empty file on the env's disk whose streams charge the
+// env's scope (if any).
+func (e Env) NewFile() *File { return NewFileScoped(e.Disk, e.Scope) }
 
 // NewEnv validates and returns an Env with block size B and memory M, both
 // in bytes.

@@ -11,12 +11,18 @@ import (
 // distribution-sweep algorithm (runs, slab files, spanning files).
 type File struct {
 	disk   *Disk
+	scope  *ScopeStats // default per-query attribution for streams on this file
 	blocks []BlockID
 	size   int64 // logical length in bytes
 }
 
 // NewFile returns an empty file on d.
 func NewFile(d *Disk) *File { return &File{disk: d} }
+
+// NewFileScoped returns an empty file on d whose readers and writers
+// charge sc in addition to the disk-global counters. A nil sc is the same
+// as NewFile.
+func NewFileScoped(d *Disk, sc *ScopeStats) *File { return &File{disk: d, scope: sc} }
 
 // Size returns the logical length in bytes.
 func (f *File) Size() int64 { return f.size }
@@ -46,6 +52,7 @@ func (f *File) Release() error {
 // write transfer; Close flushes the final partial block.
 type Writer struct {
 	file   *File
+	scope  *ScopeStats
 	buf    []byte
 	n      int // bytes buffered
 	closed bool
@@ -53,9 +60,10 @@ type Writer struct {
 
 // NewWriter returns a Writer appending to f. f must be empty or previously
 // written and not yet sealed; appending after readers exist is a logic error
-// the caller must avoid (write-once discipline).
+// the caller must avoid (write-once discipline). Transfers are charged to
+// the file's scope (if any) on top of the disk-global counters.
 func (f *File) NewWriter() *Writer {
-	return &Writer{file: f, buf: make([]byte, f.disk.blockSize)}
+	return &Writer{file: f, scope: f.scope, buf: make([]byte, f.disk.blockSize)}
 }
 
 // Write buffers p, flushing full blocks to disk. It never fails short.
@@ -85,6 +93,7 @@ func (w *Writer) flush() error {
 	if err := w.file.disk.WriteBlock(id, w.buf[:w.n]); err != nil {
 		return err
 	}
+	w.scope.addWrite()
 	w.file.blocks = append(w.file.blocks, id)
 	w.file.size += int64(w.n)
 	w.n = 0
@@ -104,15 +113,26 @@ func (w *Writer) Close() error {
 // buffer. Every block fetched costs one read transfer.
 type Reader struct {
 	file  *File
+	scope *ScopeStats
 	buf   []byte
 	next  int // next block index to fetch
 	avail []byte
 	off   int64 // bytes consumed so far
 }
 
-// NewReader returns a Reader positioned at the start of f.
+// NewReader returns a Reader positioned at the start of f, charging
+// transfers to the file's scope (if any).
 func (f *File) NewReader() *Reader {
-	return &Reader{file: f, buf: make([]byte, f.disk.blockSize)}
+	return &Reader{file: f, scope: f.scope, buf: make([]byte, f.disk.blockSize)}
+}
+
+// NewReaderScoped is NewReader with the transfer attribution overridden to
+// sc — used to read a shared input file (e.g. a loaded dataset) on behalf
+// of one query.
+func (f *File) NewReaderScoped(sc *ScopeStats) *Reader {
+	r := f.NewReader()
+	r.scope = sc
+	return r
 }
 
 // Read fills p from the stream, returning io.EOF at end of file.
@@ -143,6 +163,7 @@ func (r *Reader) fill() error {
 	if err := r.file.disk.ReadBlock(r.file.blocks[r.next], r.buf); err != nil {
 		return err
 	}
+	r.scope.addRead()
 	// The final block may be partial.
 	n := int64(r.file.disk.blockSize)
 	if rem := r.file.size - int64(r.next)*n; rem < n {
@@ -242,6 +263,17 @@ func NewRecordReader[T any](f *File, c Codec[T]) (*RecordReader[T], error) {
 	return &RecordReader[T]{r: f.NewReader(), codec: c, buf: make([]byte, c.Size())}, nil
 }
 
+// NewRecordReaderScoped is NewRecordReader with the transfer attribution
+// overridden to sc (see File.NewReaderScoped).
+func NewRecordReaderScoped[T any](f *File, c Codec[T], sc *ScopeStats) (*RecordReader[T], error) {
+	rr, err := NewRecordReader(f, c)
+	if err != nil {
+		return nil, err
+	}
+	rr.r.scope = sc
+	return rr, nil
+}
+
 // Read returns the next record, or io.EOF after the last one.
 func (rr *RecordReader[T]) Read() (T, error) {
 	var zero T
@@ -304,7 +336,13 @@ func RecordCount(f *File, recSize int) int64 {
 // WriteAll writes every record of vs to a fresh file on d and returns it.
 // Convenience for tests and data loading.
 func WriteAll[T any](d *Disk, c Codec[T], vs []T) (*File, error) {
-	f := NewFile(d)
+	return WriteAllScoped(d, nil, c, vs)
+}
+
+// WriteAllScoped is WriteAll with the transfers (and those of future
+// streams on the returned file) charged to sc.
+func WriteAllScoped[T any](d *Disk, sc *ScopeStats, c Codec[T], vs []T) (*File, error) {
+	f := NewFileScoped(d, sc)
 	w, err := NewRecordWriter(f, c)
 	if err != nil {
 		return nil, err
@@ -321,7 +359,12 @@ func WriteAll[T any](d *Disk, c Codec[T], vs []T) (*File, error) {
 // ReadAll materializes every record of f. Only for tests and small files —
 // production code streams.
 func ReadAll[T any](f *File, c Codec[T]) ([]T, error) {
-	rr, err := NewRecordReader(f, c)
+	return ReadAllScoped(f, c, f.scope)
+}
+
+// ReadAllScoped is ReadAll with the read transfers charged to sc.
+func ReadAllScoped[T any](f *File, c Codec[T], sc *ScopeStats) ([]T, error) {
+	rr, err := NewRecordReaderScoped(f, c, sc)
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@ import (
 // meaningful for the baselines.
 type BufferPool struct {
 	disk   *Disk
+	scope  *ScopeStats // per-query attribution for miss reads / dirty evictions
 	frames int
 	lru    *list.List // front = most recently used; values are *frame
 	byID   map[BlockID]*list.Element
@@ -42,6 +43,10 @@ func NewBufferPool(d *Disk, frames int) (*BufferPool, error) {
 // Frames returns the pool capacity.
 func (p *BufferPool) Frames() int { return p.frames }
 
+// SetScope charges the pool's future transfers (miss reads, dirty-frame
+// writebacks) to sc in addition to the disk-global counters.
+func (p *BufferPool) SetScope(sc *ScopeStats) { p.scope = sc }
+
 // HitRate returns cache hits and misses since creation.
 func (p *BufferPool) HitRate() (hits, misses uint64) { return p.hits, p.misses }
 
@@ -59,6 +64,7 @@ func (p *BufferPool) Get(id BlockID) ([]byte, error) {
 	if err := p.disk.ReadBlock(id, fr.data); err != nil {
 		return nil, err
 	}
+	p.scope.addRead()
 	if err := p.insert(fr); err != nil {
 		return nil, err
 	}
@@ -98,6 +104,7 @@ func (p *BufferPool) evict() error {
 		if err := p.disk.WriteBlock(fr.id, fr.data); err != nil {
 			return err
 		}
+		p.scope.addWrite()
 	}
 	p.lru.Remove(el)
 	delete(p.byID, fr.id)

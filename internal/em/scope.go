@@ -1,0 +1,35 @@
+package em
+
+import "sync/atomic"
+
+// ScopeStats tallies the block transfers of one logical unit of work — a
+// query — on top of the disk-global Stats. A scope is attached to an Env
+// (Env.WithScope) or to individual streams (NewFileScoped,
+// NewRecordReaderScoped); every transfer performed through a scoped stream
+// is charged both to the disk's global counters and to the scope. Safe for
+// concurrent use; a nil *ScopeStats is valid and charges nothing, so
+// unscoped code paths pay only a nil check.
+type ScopeStats struct {
+	reads  atomic.Uint64
+	writes atomic.Uint64
+}
+
+func (s *ScopeStats) addRead() {
+	if s != nil {
+		s.reads.Add(1)
+	}
+}
+
+func (s *ScopeStats) addWrite() {
+	if s != nil {
+		s.writes.Add(1)
+	}
+}
+
+// Stats returns the transfers charged to the scope so far.
+func (s *ScopeStats) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{Reads: s.reads.Load(), Writes: s.writes.Load()}
+}

@@ -51,15 +51,15 @@ func SortP[T any](env em.Env, in *em.File, codec em.Codec[T], less func(a, b T) 
 // sortAndSpill sorts one run buffer and writes it out as a run file.
 func sortAndSpill[T any](env em.Env, codec em.Codec[T], less func(a, b T) bool, buf []T) (*em.File, error) {
 	sort.SliceStable(buf, func(i, j int) bool { return less(buf[i], buf[j]) })
-	return em.WriteAll(env.Disk, codec, buf)
+	return em.WriteAllScoped(env.Disk, env.Scope, codec, buf)
 }
 
 // formRuns produces sorted runs of ≤ M bytes each. Run i always holds
 // records [i·perRun, (i+1)·perRun) of the input regardless of parallelism:
 // workers only take over the sort + spill of a buffer the reader has
-// already filled.
-func formRuns[T any](env em.Env, in *em.File, codec em.Codec[T], less func(a, b T) bool, parallelism int) ([]*em.File, error) {
-	rr, err := em.NewRecordReader(in, codec)
+// already filled. On error every already-spilled run is released.
+func formRuns[T any](env em.Env, in *em.File, codec em.Codec[T], less func(a, b T) bool, parallelism int) (_ []*em.File, err error) {
+	rr, err := em.NewRecordReaderScoped(in, codec, env.Scope)
 	if err != nil {
 		return nil, err
 	}
@@ -78,6 +78,15 @@ func formRuns[T any](env em.Env, in *em.File, codec em.Codec[T], less func(a, b 
 		firstErr error
 		wg       sync.WaitGroup
 	)
+	defer func() {
+		if err != nil {
+			for _, r := range runs {
+				if r != nil {
+					_ = r.Release()
+				}
+			}
+		}
+	}()
 	place := func(idx int, f *em.File, err error) {
 		mu.Lock()
 		defer mu.Unlock()
@@ -148,14 +157,17 @@ func formRuns[T any](env em.Env, in *em.File, codec em.Codec[T], less func(a, b 
 		return nil, firstErr
 	}
 	if idx == 0 { // empty input → empty sorted file
-		runs = append(runs, em.NewFile(env.Disk))
+		runs = append(runs, env.NewFile())
 	}
 	return runs, nil
 }
 
 // mergeRuns repeatedly merges groups of up to fanIn runs until one remains.
 // If releaseInputs is true, merged-away runs are released. Groups of one
-// level are independent and run on up to parallelism goroutines.
+// level are independent and run on up to parallelism goroutines. On error
+// every owned file — current-level inputs (when owned) and the partial
+// next level — is released; File.Release is idempotent, so runs a group
+// already freed are skipped for free.
 func mergeRuns[T any](env em.Env, runs []*em.File, codec em.Codec[T], less func(a, b T) bool, releaseInputs bool, parallelism int) (*em.File, error) {
 	fanIn := env.MemBlocks() - 1 // one block reserved for the output buffer
 	if fanIn < 2 {
@@ -183,6 +195,16 @@ func mergeRuns[T any](env em.Env, runs []*em.File, codec em.Codec[T], less func(
 			return nil
 		})
 		if err != nil {
+			for _, f := range next {
+				if f != nil {
+					_ = f.Release()
+				}
+			}
+			if release {
+				for _, r := range runs {
+					_ = r.Release()
+				}
+			}
 			return nil, err
 		}
 		runs = next
@@ -191,9 +213,15 @@ func mergeRuns[T any](env em.Env, runs []*em.File, codec em.Codec[T], less func(
 	return runs[0], nil
 }
 
-// mergeOnce k-way merges the given sorted runs into a fresh file.
-func mergeOnce[T any](env em.Env, runs []*em.File, codec em.Codec[T], less func(a, b T) bool) (*em.File, error) {
-	out := em.NewFile(env.Disk)
+// mergeOnce k-way merges the given sorted runs into a fresh file,
+// releasing the partial output on error.
+func mergeOnce[T any](env em.Env, runs []*em.File, codec em.Codec[T], less func(a, b T) bool) (_ *em.File, err error) {
+	out := env.NewFile()
+	defer func() {
+		if err != nil {
+			_ = out.Release()
+		}
+	}()
 	w, err := em.NewRecordWriter(out, codec)
 	if err != nil {
 		return nil, err

@@ -2,9 +2,9 @@ package maxrs
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
-	"math"
 	"strconv"
 	"strings"
 
@@ -12,19 +12,32 @@ import (
 	"maxrs/internal/rec"
 )
 
+// maxCSVLine bounds one input line of LoadCSV (1 MiB) — far beyond any
+// well-formed "x,y,weight" line, small enough to keep memory bounded on
+// hostile input.
+const maxCSVLine = 1 << 20
+
 // LoadCSV streams objects from r directly onto the engine's disk without
 // materializing them in memory, so datasets far larger than RAM can be
 // loaded under an OnDisk engine. The format is one object per line,
 // "x,y[,weight]" (weight defaults to 1); blank lines and lines starting
-// with '#' are skipped.
-func (e *Engine) LoadCSV(r io.Reader) (*Dataset, error) {
+// with '#' are skipped. Coordinates and weights must be finite (NaN and
+// ±Inf are rejected with the offending line number, as are lines longer
+// than 1 MiB). On error the partially written file is released — no disk
+// blocks stay allocated.
+func (e *Engine) LoadCSV(r io.Reader) (_ *Dataset, err error) {
 	f := em.NewFile(e.env.Disk)
+	defer func() {
+		if err != nil {
+			_ = f.Release()
+		}
+	}()
 	w, err := em.NewRecordWriter(f, rec.ObjectCodec{})
 	if err != nil {
 		return nil, err
 	}
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Buffer(make([]byte, 64<<10), maxCSVLine)
 	n := 0
 	lineNo := 0
 	for sc.Scan() {
@@ -43,6 +56,11 @@ func (e *Engine) LoadCSV(r io.Reader) (*Dataset, error) {
 		n++
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// The scanner stopped on the line after the last delivered one.
+			return nil, fmt.Errorf("maxrs: line %d: longer than %d bytes: %w",
+				lineNo+1, maxCSVLine, err)
+		}
 		return nil, err
 	}
 	if err := w.Close(); err != nil {
@@ -71,8 +89,8 @@ func parseObjectLine(line string) (rec.Object, error) {
 			return rec.Object{}, fmt.Errorf("bad weight: %w", err)
 		}
 	}
-	if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(wt) {
-		return rec.Object{}, fmt.Errorf("NaN value in %q", line)
+	if err := checkObject(x, y, wt); err != nil {
+		return rec.Object{}, fmt.Errorf("%w in %q", err, line)
 	}
 	return rec.Object{X: x, Y: y, W: wt}, nil
 }

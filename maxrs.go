@@ -36,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"maxrs/internal/baseline"
 	"maxrs/internal/core"
@@ -77,6 +78,26 @@ type Result struct {
 	// Region is the full set of optimal center positions (for MaxRS).
 	// Every point of Region attains Score.
 	Region Rect
+	// Stats is the I/O cost of this query alone (see QueryStats).
+	Stats QueryStats
+}
+
+// QueryStats reports the block transfers attributable to one query: reads
+// of the dataset plus all traffic of the query's intermediate files. It is
+// scoped per call, so concurrent queries on one Engine each report their
+// own meaningful cost, while Engine.Stats keeps the disk-global total. For
+// a fixed dataset and query the counts are deterministic — independent of
+// Options.Parallelism and of other queries in flight.
+type QueryStats struct {
+	Reads, Writes uint64
+}
+
+// Total returns Reads + Writes — the paper's I/O cost metric.
+func (s QueryStats) Total() uint64 { return s.Reads + s.Writes }
+
+func queryStatsOf(sc *em.ScopeStats) QueryStats {
+	s := sc.Stats()
+	return QueryStats{Reads: s.Reads, Writes: s.Writes}
 }
 
 // Algorithm selects the solver implementation.
@@ -127,9 +148,11 @@ type Options struct {
 	Fanout int
 	// Parallelism bounds the worker goroutines ExactMaxRS uses for
 	// independent child slabs, sort-run formation, and merge groups
-	// (0 = GOMAXPROCS, 1 = sequential). Results and the counted block
-	// transfers are identical for every value; only wall-clock time
-	// changes. See DESIGN.md §6.
+	// (0 = GOMAXPROCS, 1 = sequential). The pool is shared by all
+	// concurrent queries on the engine, bounding its total extra
+	// goroutines; each query always progresses on its caller's goroutine
+	// regardless. Results and the counted block transfers are identical
+	// for every value; only wall-clock time changes. See DESIGN.md §6–7.
 	Parallelism int
 	// OnDisk stores blocks in a temporary OS file under OnDiskDir
 	// (default: the system temp directory) instead of process memory, so
@@ -163,7 +186,20 @@ func (s IOStats) Total() uint64 { return s.Reads + s.Writes }
 
 // Engine owns an EM environment (simulated disk + memory budget) and
 // solves MaxRS/MaxCRS instances on datasets stored on that disk.
-// An Engine is not safe for concurrent use.
+//
+// # Concurrency
+//
+// An Engine is safe for concurrent queries: any number of goroutines may
+// call MaxRS, MaxCRS, TopK, MinRS and CountRS against shared Datasets at
+// the same time (see DESIGN.md §7 for the full contract). Results are
+// bit-identical to sequential execution, and each Result carries its own
+// per-query Stats. Datasets are reference-counted: Release during
+// in-flight queries is safe — the blocks are freed when the last query
+// using the dataset finishes. Load/LoadCSV may also run concurrently with
+// queries. Only Close requires exclusivity: it must not run while any
+// query or load is in flight. ResetStats zeroes the disk-global counters
+// and therefore makes a concurrent Stats window meaningless, but it never
+// affects the per-query Stats in Results.
 type Engine struct {
 	opts   Options
 	env    em.Env
@@ -202,14 +238,27 @@ func NewEngine(opts *Options) (*Engine, error) {
 }
 
 // Close releases the engine's storage (removes the backing file of an
-// OnDisk engine). The engine and its datasets must not be used afterwards.
+// OnDisk engine). It must not be called while queries or loads are in
+// flight; the engine and its datasets must not be used afterwards.
 func (e *Engine) Close() error { return e.env.Disk.Close() }
 
 // Dataset is a point set stored on the engine's disk.
+//
+// A Dataset is reference-counted: every running query holds a reference,
+// and Release marks the dataset dead, deferring the actual freeing of its
+// disk blocks until the last in-flight query finishes. Queries started
+// after Release fail with ErrDatasetReleased.
 type Dataset struct {
 	file *em.File
 	n    int
+
+	mu       sync.Mutex
+	refs     int  // in-flight queries holding the dataset open
+	released bool // Release called; free blocks when refs drains to 0
 }
+
+// ErrDatasetReleased is returned by queries on a released Dataset.
+var ErrDatasetReleased = errors.New("maxrs: dataset released")
 
 // Len returns the number of objects in the dataset.
 func (d *Dataset) Len() int { return d.n }
@@ -217,21 +266,75 @@ func (d *Dataset) Len() int { return d.n }
 // Blocks returns the number of disk blocks the dataset occupies.
 func (d *Dataset) Blocks() int { return d.file.Blocks() }
 
-// Release frees the dataset's disk blocks.
-func (d *Dataset) Release() error { return d.file.Release() }
+// Release frees the dataset's disk blocks. Safe to call while queries are
+// running (they keep the blocks alive until they finish) and safe to call
+// more than once.
+func (d *Dataset) Release() error {
+	d.mu.Lock()
+	if d.released {
+		d.mu.Unlock()
+		return nil
+	}
+	d.released = true
+	free := d.refs == 0
+	d.mu.Unlock()
+	if free {
+		return d.file.Release()
+	}
+	return nil
+}
+
+// acquire registers an in-flight query on the dataset.
+func (d *Dataset) acquire() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.released {
+		return ErrDatasetReleased
+	}
+	d.refs++
+	return nil
+}
+
+// release drops a query's reference, freeing the blocks if Release was
+// called while the query ran and this was the last reference.
+func (d *Dataset) release() error {
+	d.mu.Lock()
+	d.refs--
+	free := d.released && d.refs == 0
+	d.mu.Unlock()
+	if free {
+		return d.file.Release()
+	}
+	return nil
+}
+
+// endQuery is the deferred tail of every query: it drops the dataset
+// reference and surfaces a final-free failure if the query itself
+// succeeded.
+func (d *Dataset) endQuery(err *error) {
+	if rerr := d.release(); rerr != nil && *err == nil {
+		*err = rerr
+	}
+}
 
 // Load writes objects to the engine's disk and returns the Dataset.
 // Loading is charged to the engine's I/O statistics; call ResetStats
-// afterwards to measure a query in isolation.
-func (e *Engine) Load(objs []Object) (*Dataset, error) {
+// afterwards to measure a query in isolation. Coordinates and weights
+// must be finite. On error no disk blocks stay allocated.
+func (e *Engine) Load(objs []Object) (_ *Dataset, err error) {
 	f := em.NewFile(e.env.Disk)
+	defer func() {
+		if err != nil {
+			_ = f.Release()
+		}
+	}()
 	w, err := em.NewRecordWriter(f, rec.ObjectCodec{})
 	if err != nil {
 		return nil, err
 	}
 	for _, o := range objs {
-		if math.IsNaN(o.X) || math.IsNaN(o.Y) || math.IsNaN(o.Weight) {
-			return nil, fmt.Errorf("maxrs: NaN in object %+v", o)
+		if err := checkObject(o.X, o.Y, o.Weight); err != nil {
+			return nil, fmt.Errorf("maxrs: object %+v: %w", o, err)
 		}
 		if err := w.Write(rec.Object{X: o.X, Y: o.Y, W: o.Weight}); err != nil {
 			return nil, err
@@ -243,56 +346,101 @@ func (e *Engine) Load(objs []Object) (*Dataset, error) {
 	return &Dataset{file: f, n: len(objs)}, nil
 }
 
-// Stats returns the engine's accumulated block-transfer counts.
+// checkObject rejects NaN and ±Inf coordinates/weights — infinities
+// poison the rectangle transform (an object at +Inf produces an invalid
+// empty rectangle and, worse, ±Inf edge values break slab division).
+func checkObject(x, y, w float64) error {
+	for _, v := range [3]float64{x, y, w} {
+		if math.IsNaN(v) {
+			return errors.New("NaN value")
+		}
+		if math.IsInf(v, 0) {
+			return errors.New("infinite value")
+		}
+	}
+	return nil
+}
+
+// Stats returns the engine's accumulated block-transfer counts across all
+// loads and queries (the disk-global total). For the cost of a single
+// query under concurrency, use the Stats field of its Result instead.
 func (e *Engine) Stats() IOStats {
 	s := e.env.Disk.Stats()
 	return IOStats{Reads: s.Reads, Writes: s.Writes}
 }
 
-// ResetStats zeroes the transfer counters.
+// ResetStats zeroes the disk-global transfer counters. Per-query Result
+// stats are unaffected.
 func (e *Engine) ResetStats() { e.env.Disk.ResetStats() }
 
+// BlocksInUse returns the number of live (allocated, unfreed) blocks on
+// the engine's disk. After every dataset is released and every query has
+// finished it returns 0; anything else indicates a leak — useful as an
+// operational health check for long-running servers.
+func (e *Engine) BlocksInUse() int { return e.env.Disk.InUse() }
+
 // MaxRS finds a center location for a w×h rectangle maximizing the total
-// covered weight of the dataset.
-func (e *Engine) MaxRS(d *Dataset, w, h float64) (Result, error) {
+// covered weight of the dataset. Safe to call concurrently with other
+// queries on the same engine and dataset.
+func (e *Engine) MaxRS(d *Dataset, w, h float64) (_ Result, err error) {
 	if err := checkQuery(w, h); err != nil {
 		return Result{}, err
 	}
+	if err := d.acquire(); err != nil {
+		return Result{}, err
+	}
+	defer d.endQuery(&err)
+	sc := new(em.ScopeStats)
+	res, err := e.maxRS(d, w, h, sc)
+	if err != nil {
+		return Result{}, err
+	}
+	out := fromSweep(res)
+	out.Stats = queryStatsOf(sc)
+	return out, nil
+}
+
+// maxRS dispatches one already-acquired MaxRS solve, charging transfers
+// to sc.
+func (e *Engine) maxRS(d *Dataset, w, h float64, sc *em.ScopeStats) (sweep.Result, error) {
 	var (
 		res sweep.Result
 		err error
 	)
 	switch e.opts.Algorithm {
 	case ExactMaxRS:
-		res, err = e.solver.SolveObjects(d.file, w, h)
+		res, err = e.solver.SolveObjectsScoped(d.file, w, h, sc)
 	case NaiveSweep:
-		res, err = baseline.NaiveSweep(e.env, d.file, w, h)
+		res, err = baseline.NaiveSweep(e.env.WithScope(sc), d.file, w, h)
 	case ASBTree:
-		res, err = baseline.ASBTreeSweep(e.env, d.file, w, h)
+		res, err = baseline.ASBTreeSweep(e.env.WithScope(sc), d.file, w, h)
 	case InMemory:
 		var objs []geom.Object
-		objs, err = readObjects(d)
+		objs, err = readObjects(d, sc)
 		if err == nil {
 			res = sweep.MaxRS(objs, w, h)
 		}
 	default:
 		err = fmt.Errorf("maxrs: unknown algorithm %v", e.opts.Algorithm)
 	}
-	if err != nil {
-		return Result{}, err
-	}
-	return fromSweep(res), nil
+	return res, err
 }
+
+// ErrInvalidQuery is wrapped by every query-parameter validation failure
+// (non-positive or infinite sizes, k < 1), so callers — e.g. an HTTP
+// layer mapping errors to status codes — can classify with errors.Is
+// instead of matching message text.
+var ErrInvalidQuery = errors.New("maxrs: invalid query")
 
 func checkQuery(w, h float64) error {
 	if !(w > 0) || !(h > 0) || math.IsInf(w, 0) || math.IsInf(h, 0) {
-		return fmt.Errorf("maxrs: query size %gx%g must be positive and finite", w, h)
+		return fmt.Errorf("%w: size %gx%g must be positive and finite", ErrInvalidQuery, w, h)
 	}
 	return nil
 }
 
-func readObjects(d *Dataset) ([]geom.Object, error) {
-	recs, err := em.ReadAll(d.file, rec.ObjectCodec{})
+func readObjects(d *Dataset, sc *em.ScopeStats) ([]geom.Object, error) {
+	recs, err := em.ReadAllScoped(d.file, rec.ObjectCodec{}, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -316,17 +464,28 @@ func fromSweep(res sweep.Result) Result {
 }
 
 // MaxRS is the one-shot convenience form: it builds a default engine
-// (paper-default EM parameters, or opts), loads objs, and solves.
-func MaxRS(objs []Object, w, h float64, opts *Options) (Result, error) {
+// (paper-default EM parameters, or opts), loads objs, solves, and closes
+// the engine on every path — with Options.OnDisk the backing temp file is
+// removed even when loading or solving fails.
+func MaxRS(objs []Object, w, h float64, opts *Options) (_ Result, err error) {
 	e, err := NewEngine(opts)
 	if err != nil {
 		return Result{}, err
 	}
+	defer closeEngine(e, &err)
 	d, err := e.Load(objs)
 	if err != nil {
 		return Result{}, err
 	}
 	return e.MaxRS(d, w, h)
+}
+
+// closeEngine is the deferred tail of the one-shot forms: it closes the
+// engine and surfaces the close failure unless an earlier error wins.
+func closeEngine(e *Engine, err *error) {
+	if cerr := e.Close(); cerr != nil && *err == nil {
+		*err = cerr
+	}
 }
 
 // ErrEmptyDataset is returned by queries that need at least one object.
