@@ -9,6 +9,7 @@
 //	maxrsbench -exp=fig13,fig17
 //	maxrsbench -exp=all -parallel=8     # panel points on 8 goroutines
 //	maxrsbench -exp=fig12 -json=BENCH_fig12.json
+//	maxrsbench -exp=fusion -json=BENCH_3.json   # fused-vs-unfused record
 //
 // At -scale below 1 the buffer sizes shrink with the data (-bufscale
 // defaults to -scale) so the baselines stay on their external paths.
@@ -69,7 +70,7 @@ func parseLevels(s string) ([]int, error) {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "comma-separated: table2,table3,fig12,fig13,fig14,fig15,fig16,fig17,all,load (load is never part of all)")
+		exp        = flag.String("exp", "all", "comma-separated: table2,table3,fig12,fig13,fig14,fig15,fig16,fig17,all,load,fusion (load and fusion are never part of all)")
 		scale      = flag.Float64("scale", 1.0, "cardinality scale factor (1 = paper scale)")
 		bufscale   = flag.Float64("bufscale", 0, "buffer scale factor (default: same as -scale)")
 		seed       = flag.Int64("seed", 2012, "data generation seed")
@@ -124,6 +125,40 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("[json summary written to %s]\n", *jsonPath)
+	}
+	if want["fusion"] {
+		n := int(float64(experiments.DefaultCardinality) * *scale)
+		if n < 2000 {
+			n = 2000 // keep the workload non-trivial at tiny scales
+		}
+		mem := int(float64(experiments.DefaultBufSynthetic) * *bufscale)
+		if mem < 8*experiments.DefaultBlockSize {
+			mem = 8 * experiments.DefaultBlockSize
+		}
+		start := time.Now()
+		series, err := runFusion(fusionConfig{
+			objects: n,
+			iters:   3,
+			seed:    *seed,
+			memory:  mem,
+			par:     *parallel,
+			out:     os.Stdout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fusion: %v\n", err)
+			os.Exit(1)
+		}
+		summary.Experiments = append(summary.Experiments, jsonExperiment{
+			Name:      "fusion",
+			ElapsedMS: time.Since(start).Milliseconds(),
+			Series:    series,
+		})
+		delete(want, "fusion")
+		if len(want) == 0 {
+			writeSummary()
+			return
+		}
+		fmt.Println()
 	}
 	if want["load"] {
 		levels, err := parseLevels(*loadLevels)

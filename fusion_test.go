@@ -1,0 +1,101 @@
+package maxrs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fusionObjects is a deterministic workload big enough to divide at the
+// root under the small engine memory used below.
+func fusionObjects(n int) []Object {
+	rng := rand.New(rand.NewSource(2026))
+	objs := make([]Object, n)
+	for i := range objs {
+		objs[i] = Object{
+			X:      float64(rng.Intn(4 * n)),
+			Y:      float64(rng.Intn(4 * n)),
+			Weight: float64(rng.Intn(9) + 1),
+		}
+	}
+	return objs
+}
+
+// TestEngineFusionEquivalence pins the public contract of Options.Unfused:
+// identical results, with the fused default strictly cheaper in per-query
+// block transfers.
+func TestEngineFusionEquivalence(t *testing.T) {
+	objs := fusionObjects(4000)
+	queryEdge := 4.0 * 4000 / 1000
+	run := func(unfused bool) Result {
+		e, err := NewEngine(&Options{Memory: 52 * 1024, Unfused: unfused})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		d, err := e.Load(objs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.MaxRS(d, queryEdge, queryEdge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Release(); err != nil {
+			t.Fatal(err)
+		}
+		if n := e.BlocksInUse(); n != 0 {
+			t.Fatalf("unfused=%v: %d blocks leaked", unfused, n)
+		}
+		return res
+	}
+	fused, unfused := run(false), run(true)
+	if fused.Location != unfused.Location || fused.Score != unfused.Score || fused.Region != unfused.Region {
+		t.Fatalf("fused result %+v != unfused %+v", fused, unfused)
+	}
+	if fused.Stats.Total() >= unfused.Stats.Total() {
+		t.Fatalf("fused query cost %d ≥ unfused %d transfers", fused.Stats.Total(), unfused.Stats.Total())
+	}
+}
+
+// TestEnginePipelineInvariance pins the public contract of
+// Options.Pipeline: on an OnDisk engine, prefetch/write-behind (the Auto
+// default) changes neither the result nor a single counted transfer
+// relative to PipelineOff — and PipelineOn works on the in-memory backend
+// too.
+func TestEnginePipelineInvariance(t *testing.T) {
+	objs := fusionObjects(3000)
+	queryEdge := 4.0 * 3000 / 1000
+	run := func(opts Options) Result {
+		e, err := NewEngine(&opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		d, err := e.Load(objs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.MaxRS(d, queryEdge, queryEdge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(Options{Memory: 52 * 1024, OnDisk: true, OnDiskDir: t.TempDir(), Pipeline: PipelineOff})
+	for name, opts := range map[string]Options{
+		"disk/auto":   {Memory: 52 * 1024, OnDisk: true, Pipeline: PipelineAuto},
+		"disk/forced": {Memory: 52 * 1024, OnDisk: true, Pipeline: PipelineOn},
+		"mem/forced":  {Memory: 52 * 1024, Pipeline: PipelineOn},
+		"mem/auto":    {Memory: 52 * 1024},
+	} {
+		opts.OnDiskDir = t.TempDir()
+		got := run(opts)
+		if got != base {
+			t.Errorf("%s: result %+v (stats %+v) != PipelineOff baseline %+v (stats %+v)",
+				name, got, got.Stats, base, base.Stats)
+		}
+	}
+	if _, err := NewEngine(&Options{Pipeline: PipelineMode(42)}); err == nil {
+		t.Fatal("bogus pipeline mode must be rejected")
+	}
+}

@@ -33,6 +33,17 @@
 // boundary values inserted at the splice points) alongside the events.
 // This keeps the whole recursion free of sorts below the root and
 // preserves the optimal I/O bound.
+//
+// # Pass fusion
+//
+// By default the two ends of the root pipeline are fused (DESIGN.md §8):
+// input records stream straight into sorted run formation
+// (extsort.RunBuilder — no unsorted event/edge files are ever written or
+// re-read), and the final merge of each root sort streams straight into
+// the division sinks (extsort.Merger.MergeInto — no sorted root files are
+// ever written or re-read). Config.Unfused restores the materializing
+// pipeline; results are bit-identical either way, only the transfer count
+// differs, and everything below the root is shared by both paths.
 package core
 
 import (
@@ -41,6 +52,7 @@ import (
 	"io"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 
 	"maxrs/internal/em"
@@ -82,6 +94,15 @@ type Config struct {
 	// independent and the transfer tally is order-free — so this knob
 	// trades wall-clock time only.
 	Parallelism int
+
+	// Unfused disables the root pass fusion (DESIGN.md §8): the input is
+	// materialized as unsorted event/edge files, externally sorted into
+	// new files, and those are re-read for the root division — the
+	// pre-fusion pipeline, kept for ablation and the fusion-equivalence
+	// tests. Results are bit-identical either way; only the block-transfer
+	// count changes (the fused default saves four full passes over the
+	// event stream and at least two over the edge stream at the root).
+	Unfused bool
 }
 
 // Solver runs ExactMaxRS instances under one EM environment.
@@ -199,17 +220,13 @@ func (s *Solver) SolveObjectsScoped(objFile *em.File, w, h float64, sc *em.Scope
 	if err != nil {
 		return sweep.Result{}, err
 	}
-	events, edges, n, err := t.buildInput(func() (rec.WRect, error) {
+	return t.run(func() (rec.WRect, error) {
 		o, err := rr.Read()
 		if err != nil {
 			return rec.WRect{}, err
 		}
 		return rec.FromObject(o, w, h), nil
 	})
-	if err != nil {
-		return sweep.Result{}, err
-	}
-	return t.solveTransformed(events, edges, n)
 }
 
 // SolveRects answers the transformed MaxRS problem (Definition 5) for an
@@ -226,18 +243,31 @@ func (s *Solver) SolveRectsScoped(rectFile *em.File, sc *em.ScopeStats) (sweep.R
 	if err != nil {
 		return sweep.Result{}, err
 	}
-	events, edges, n, err := t.buildInput(rr.Read)
-	if err != nil {
-		return sweep.Result{}, err
-	}
-	return t.solveTransformed(events, edges, n)
+	return t.run(rr.Read)
 }
 
-func (s *task) solveTransformed(events, edges *em.File, count int64) (sweep.Result, error) {
-	slabFile, err := s.slabFileOf(events, edges, count)
-	if err != nil {
-		return sweep.Result{}, err
+// lessEventY orders piece events by sweep y — the root event sort order.
+func lessEventY(a, b rec.PieceEvent) bool { return a.Y() < b.Y() }
+
+// lessFloat64 is the root edge-value sort order.
+func lessFloat64(a, b float64) bool { return a < b }
+
+// run drains next() and solves the transformed problem on the configured
+// pipeline: fused by default, materializing when Config.Unfused.
+func (s *task) run(next func() (rec.WRect, error)) (sweep.Result, error) {
+	if s.cfg.Unfused {
+		events, edges, n, err := s.buildInput(next)
+		if err != nil {
+			return sweep.Result{}, err
+		}
+		return s.solveTransformed(events, edges, n)
 	}
+	return s.solveFused(next)
+}
+
+// resultOfSlabFile extracts the answer from the whole-space slab file and
+// releases it on every path.
+func resultOfSlabFile(slabFile *em.File) (sweep.Result, error) {
 	defer slabFile.Release()
 	res, err := BestOfSlabFile(slabFile)
 	if err != nil {
@@ -247,6 +277,99 @@ func (s *task) solveTransformed(events, edges *em.File, count int64) (sweep.Resu
 		return sweep.Result{}, err
 	}
 	return res, nil
+}
+
+func (s *task) solveTransformed(events, edges *em.File, count int64) (sweep.Result, error) {
+	slabFile, err := s.slabFileOf(events, edges, count)
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	return resultOfSlabFile(slabFile)
+}
+
+// solveFused is the fused pipeline (DESIGN.md §8): records stream from
+// next() straight into sorted run formation — the unsorted event and edge
+// files of buildInput are never written or re-read — and, when the input
+// exceeds memory, the root sorts' final merges stream straight into the
+// division (divideFused), so the sorted root files are never materialized
+// either. Everything below the root is the shared recursion, and every
+// sink consumes the exact record sequence the unfused path reads from its
+// files, so results are bit-identical to Config.Unfused at every
+// Parallelism.
+func (s *task) solveFused(next func() (rec.WRect, error)) (_ sweep.Result, err error) {
+	evb, err := extsort.NewRunBuilder(s.env, rec.PieceEventCodec{}, lessEventY, s.par)
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	edb, err := extsort.NewRunBuilder(s.env, rec.Float64Codec{}, lessFloat64, s.par)
+	if err != nil {
+		evb.Discard()
+		return sweep.Result{}, err
+	}
+	defer func() {
+		if err != nil {
+			evb.Discard()
+			edb.Discard()
+		}
+	}()
+	err = forEachRect(next, func(r rec.WRect) error {
+		bottom, top := rec.PieceEventsOf(r)
+		if err := evb.Add(bottom); err != nil {
+			return err
+		}
+		if err := evb.Add(top); err != nil {
+			return err
+		}
+		// Two copies of each vertical edge — one per event record — so the
+		// edge-file invariant (two values per piece edge) is uniform across
+		// recursion levels.
+		for i := 0; i < 2; i++ {
+			if err := edb.Add(r.X1); err != nil {
+				return err
+			}
+			if err := edb.Add(r.X2); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	var slabFile *em.File
+	if evb.Count() <= s.capacity() {
+		slabFile, err = s.baseCaseResident(evb, edb)
+	} else {
+		slabFile, err = s.divideFused(evb, edb)
+	}
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	return resultOfSlabFile(slabFile)
+}
+
+// baseCaseResident handles a root problem that fits in memory. The event
+// run buffer cannot have spilled (capacity equals the events-per-run
+// bound, and the edge buffer is strictly smaller than its own), so the
+// resident events are sorted in place — the same stable sort, comparator
+// and input order as the run the unfused path would spill — and swept
+// without any event, edge, or sorted file ever touching the disk.
+func (s *task) baseCaseResident(evb *extsort.RunBuilder[rec.PieceEvent], edb *extsort.RunBuilder[float64]) (*em.File, error) {
+	events, err := evb.Take()
+	if err != nil {
+		return nil, err
+	}
+	edb.Discard()
+	sort.SliceStable(events, func(i, j int) bool { return lessEventY(events[i], events[j]) })
+	rects := make([]rec.WRect, 0, len(events)/2)
+	for _, e := range events {
+		if e.Top {
+			continue // the bottom event carries the full geometry
+		}
+		rects = append(rects, e.R)
+	}
+	slab := geom.Interval{Lo: math.Inf(-1), Hi: math.Inf(1)}
+	return s.writeSlab(sweep.Slab(rects, slab))
 }
 
 // slabFileOf sorts the freshly built input files and runs the recursion,
@@ -284,9 +407,29 @@ func (s *task) slabFileOf(events, edges *em.File, count int64) (*em.File, error)
 	return s.solve(root, 0)
 }
 
+// forEachRect drains next() until io.EOF, passing every non-degenerate
+// rectangle to emit — the input iteration shared by both pipelines.
+func forEachRect(next func() (rec.WRect, error), emit func(rec.WRect) error) error {
+	for {
+		r, err := next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		if r.X1 >= r.X2 || r.Y1 >= r.Y2 {
+			continue // degenerate rectangle covers nothing
+		}
+		if err := emit(r); err != nil {
+			return err
+		}
+	}
+}
+
 // buildInput drains next() until io.EOF, writing two events and four edge
-// values per rectangle (unsorted). On error the partial outputs are
-// released.
+// values per rectangle (unsorted) — the materializing front end of the
+// Config.Unfused pipeline. On error the partial outputs are released.
 func (s *task) buildInput(next func() (rec.WRect, error)) (_, _ *em.File, _ int64, err error) {
 	events := s.env.NewFile()
 	edges := s.env.NewFile()
@@ -305,36 +448,30 @@ func (s *task) buildInput(next func() (rec.WRect, error)) (_, _ *em.File, _ int6
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	for {
-		r, err := next()
-		if err != nil {
-			if errors.Is(err, io.EOF) {
-				break
-			}
-			return nil, nil, 0, err
-		}
-		if r.X1 >= r.X2 || r.Y1 >= r.Y2 {
-			continue // degenerate rectangle covers nothing
-		}
+	err = forEachRect(next, func(r rec.WRect) error {
 		bottom, top := rec.PieceEventsOf(r)
 		if err := ew.Write(bottom); err != nil {
-			return nil, nil, 0, err
+			return err
 		}
 		if err := ew.Write(top); err != nil {
-			return nil, nil, 0, err
+			return err
 		}
 		// Two copies of each vertical edge — one per event record — so the
 		// edge-file invariant (two values per piece edge) is uniform across
 		// recursion levels.
 		for i := 0; i < 2; i++ {
 			if err := xw.Write(r.X1); err != nil {
-				return nil, nil, 0, err
+				return err
 			}
 			if err := xw.Write(r.X2); err != nil {
-				return nil, nil, 0, err
+				return err
 			}
 		}
 		count += 2
+		return nil
+	})
+	if err != nil {
+		return nil, nil, 0, err
 	}
 	if err := ew.Close(); err != nil {
 		return nil, nil, 0, err
@@ -394,12 +531,28 @@ func (s *task) solve(n node, depth int) (*em.File, error) {
 		releaseChildren()
 		return nil, err
 	}
+	return s.conquer(children, spanning, bounds, n.slab, n.count, depth)
+}
+
+// conquer solves the child nodes — in parallel where pool slots allow —
+// and MergeSweeps their slab files with the spanning file into the
+// parent's slab file. It consumes the children's input files and the
+// spanning file on every path; parentCount drives the progress tripwire.
+// Both the recursive divide (solve) and the fused root (divideFused) end
+// here.
+func (s *task) conquer(children []node, spanning *em.File, bounds []float64, slab geom.Interval, parentCount int64, depth int) (*em.File, error) {
+	releaseChildren := func() {
+		for _, c := range children {
+			c.release()
+		}
+		_ = spanning.Release()
+	}
 	// The progress tripwire runs for every child before any is solved:
 	// returning mid-spawn would orphan goroutines still using the disk.
 	for i, c := range children {
-		if c.count >= n.count {
+		if c.count >= parentCount {
 			releaseChildren()
-			return nil, fmt.Errorf("%w: child %d kept all %d events", ErrNoProgress, i, n.count)
+			return nil, fmt.Errorf("%w: child %d kept all %d events", ErrNoProgress, i, parentCount)
 		}
 	}
 	// Child slabs are fully independent sub-problems (they share only the
@@ -438,7 +591,7 @@ func (s *task) solve(n node, depth int) (*em.File, error) {
 			return nil, err
 		}
 	}
-	out, err := s.mergeSweep(slabFiles, spanning, bounds, n.slab)
+	out, err := s.mergeSweep(slabFiles, spanning, bounds, slab)
 	if err != nil {
 		releaseSlabs()
 		return nil, err
@@ -488,7 +641,27 @@ func (s *task) baseCase(n node) (_ *em.File, err error) {
 			return nil, err
 		}
 	}
-	tuples := sweep.Slab(rects, n.slab)
+	out, err := s.writeSlab(sweep.Slab(rects, n.slab))
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if err != nil {
+			_ = out.Release()
+		}
+	}()
+	if err := n.events.Release(); err != nil {
+		return nil, err
+	}
+	if err := n.edges.Release(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// writeSlab materializes one node's slab file from its sweep tuples,
+// releasing the partial output on error.
+func (s *task) writeSlab(tuples []rec.Tuple) (_ *em.File, err error) {
 	out := s.env.NewFile()
 	defer func() {
 		if err != nil {
@@ -503,12 +676,6 @@ func (s *task) baseCase(n node) (_ *em.File, err error) {
 		return nil, err
 	}
 	if err := tw.Close(); err != nil {
-		return nil, err
-	}
-	if err := n.events.Release(); err != nil {
-		return nil, err
-	}
-	if err := n.edges.Release(); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -8,79 +8,112 @@ import (
 	"sort"
 
 	"maxrs/internal/em"
+	"maxrs/internal/extsort"
 	"maxrs/internal/geom"
 	"maxrs/internal/rec"
 )
 
-// chooseBounds reads the node's x-sorted edge-value file once and returns
-// up to fanout−1 strictly increasing boundary values, each strictly inside
-// the node's slab, splitting the edge multiset into roughly equal parts
-// (the division criterion of §5.2.1 / Lemma 1).
-func (s *task) chooseBounds(n node) ([]float64, error) {
+// The division phase is written as three streaming sinks — boundsPicker,
+// router, edgeSplitter — each consuming one record at a time, so the same
+// per-record logic serves both pipelines: the unfused path feeds them from
+// sorted files (route, chooseBounds, splitEdges below), and the fused root
+// feeds them straight from the sort's final merge (divideFused), which is
+// what guarantees the two paths are bit-identical.
+
+// divisionFanout returns the slab fan-out m for one division step. For
+// pathologically small memories an auto-selected fan-out below 4 cannot
+// guarantee that tied edge values straddle a quantile rank; clamp
+// (documented deviation, ≤ 2 blocks of slack). An explicitly configured
+// fan-out (ablation) is honored as-is.
+func (s *task) divisionFanout() int {
 	m := s.fanout()
 	if m < 4 && s.cfg.Fanout == 0 {
-		// For pathologically small memories an auto-selected fan-out below
-		// 4 cannot guarantee that tied edge values straddle a quantile
-		// rank; clamp (documented deviation, ≤ 2 blocks of slack). An
-		// explicitly configured fan-out (ablation) is honored as-is.
 		m = 4
 	}
-	total := em.RecordCount(n.edges, rec.Float64Codec{}.Size())
-	if total == 0 {
-		return nil, nil
-	}
-	rr, err := em.NewRecordReader(n.edges, rec.Float64Codec{})
-	if err != nil {
-		return nil, err
-	}
+	return m
+}
+
+// boundsPicker streams the x-sorted edge-value multiset once and selects
+// up to m−1 strictly increasing boundary values, each strictly inside the
+// slab, splitting the multiset into roughly equal parts (the division
+// criterion of §5.2.1 / Lemma 1). total must be the exact value count.
+type boundsPicker struct {
+	slab                     geom.Interval
+	i, step, nextRank        int64
+	bounds                   []float64
+	minInterior, maxInterior float64
+	haveInterior             bool
+}
+
+func newBoundsPicker(m int, total int64, slab geom.Interval) *boundsPicker {
 	step := total / int64(m)
 	if step < 1 {
 		step = 1
 	}
-	var bounds []float64
-	nextRank := step
-	var minInterior, maxInterior float64
-	haveInterior := false
+	return &boundsPicker{slab: slab, step: step, nextRank: step}
+}
+
+// add consumes the next edge value (ascending order).
+func (bp *boundsPicker) add(v float64) {
+	bp.i++
+	interior := v > bp.slab.Lo && v < bp.slab.Hi && !math.IsInf(v, 0)
+	if interior {
+		if !bp.haveInterior {
+			bp.minInterior, bp.maxInterior, bp.haveInterior = v, v, true
+		} else {
+			bp.maxInterior = v
+		}
+	}
+	if bp.i == bp.nextRank {
+		bp.nextRank += bp.step
+		if !interior {
+			return
+		}
+		if len(bp.bounds) == 0 || v > bp.bounds[len(bp.bounds)-1] {
+			bp.bounds = append(bp.bounds, v)
+		}
+	}
+}
+
+// finish returns the selected boundaries. If every quantile rank landed on
+// a border-valued edge it falls back to a single interior split so the
+// recursion still progresses.
+func (bp *boundsPicker) finish() []float64 {
+	if len(bp.bounds) == 0 && bp.haveInterior {
+		if bp.minInterior < bp.maxInterior {
+			return []float64{bp.minInterior + (bp.maxInterior-bp.minInterior)/2}
+		}
+		return []float64{bp.minInterior}
+	}
+	return bp.bounds
+}
+
+// chooseBounds reads the node's x-sorted edge-value file once and returns
+// the boundary values via a boundsPicker.
+func (s *task) chooseBounds(n node) ([]float64, error) {
+	total := em.RecordCount(n.edges, rec.Float64Codec{}.Size())
+	if total == 0 {
+		return nil, nil
+	}
+	bp := newBoundsPicker(s.divisionFanout(), total, n.slab)
+	rr, err := em.NewRecordReader(n.edges, rec.Float64Codec{})
+	if err != nil {
+		return nil, err
+	}
 	batch := make([]float64, edgeBatch)
-	for i := int64(0); i < total; {
+	for bp.i < total {
 		k, err := rr.ReadBatch(batch)
 		if err != nil && !errors.Is(err, io.EOF) {
 			return nil, err
 		}
 		if k == 0 {
-			return nil, fmt.Errorf("core: edge file ended at %d of %d values", i, total)
+			return nil, fmt.Errorf("core: edge file ended at %d of %d values", bp.i, total)
 		}
 		for _, v := range batch[:k] {
-			i++
-			interior := v > n.slab.Lo && v < n.slab.Hi && !math.IsInf(v, 0)
-			if interior {
-				if !haveInterior {
-					minInterior, maxInterior, haveInterior = v, v, true
-				} else {
-					maxInterior = v
-				}
-			}
-			if i == nextRank {
-				nextRank += step
-				if !interior {
-					continue
-				}
-				if len(bounds) == 0 || v > bounds[len(bounds)-1] {
-					bounds = append(bounds, v)
-				}
-			}
+			bp.add(v)
 		}
 	}
-	if len(bounds) == 0 && haveInterior {
-		// Quantile ranks all landed on border-valued edges; fall back to a
-		// single interior split so recursion still progresses.
-		if minInterior < maxInterior {
-			bounds = []float64{minInterior + (maxInterior-minInterior)/2}
-		} else {
-			bounds = []float64{minInterior}
-		}
-	}
-	return bounds, nil
+	return bp.finish(), nil
 }
 
 // slabLo returns the low x-boundary of child i under bounds within slab.
@@ -115,164 +148,224 @@ func childOfSup(bounds []float64, x float64) int {
 	return sort.SearchFloat64s(bounds, x)
 }
 
-// route performs the division phase (§5.2.1): it distributes the node's
-// piece events into len(bounds)+1 child nodes, diverting every fragment
-// that spans a whole child slab into the spanning file R′. Event order (y)
-// is preserved in every output file. It also splits the x-sorted
-// edge-value file, inserting the clipped boundary values at the splice
-// points so each child's file remains sorted. On error every partial
-// output file is released.
-func (s *task) route(n node, bounds []float64) (_ []node, _ *em.File, err error) {
-	nc := len(bounds) + 1
-	childEvents := make([]*em.File, nc)
-	eventWriters := make([]*em.RecordWriter[rec.PieceEvent], nc)
-	counts := make([]int64, nc)
-	nLow := make([]int64, nc)  // right-fragment clips at each child's low bound
-	nHigh := make([]int64, nc) // left-fragment clips at each child's high bound
-	for i := range childEvents {
-		childEvents[i] = s.env.NewFile()
-	}
-	spanning := s.env.NewFile()
-	defer func() {
-		if err != nil {
-			for _, f := range childEvents {
-				_ = f.Release()
-			}
-			_ = spanning.Release()
-		}
-	}()
-	for i := range childEvents {
-		w, err := em.NewRecordWriter(childEvents[i], rec.PieceEventCodec{})
-		if err != nil {
-			return nil, nil, err
-		}
-		eventWriters[i] = w
-	}
-	spanWriter, err := em.NewRecordWriter(spanning, rec.PieceEventCodec{})
-	if err != nil {
-		return nil, nil, err
-	}
+// router is the division sink (§5.2.1): it distributes piece events into
+// len(bounds)+1 child event files, diverting every fragment that spans a
+// whole child slab into the spanning file R′. Event order (y) is preserved
+// in every output file. It also tallies the clip counts (nLow, nHigh) the
+// edge splitter needs.
+type router struct {
+	bounds []float64
+	slab   geom.Interval
 
-	rr, err := em.NewRecordReader(n.events, rec.PieceEventCodec{})
-	if err != nil {
-		return nil, nil, err
-	}
-	emit := func(i int, e rec.PieceEvent, x1, x2 float64) error {
-		e.R.X1, e.R.X2 = x1, x2
-		counts[i]++
-		return eventWriters[i].Write(e)
-	}
-	batch := make([]rec.PieceEvent, eventBatch)
-	k, bi := 0, 0
-	var batchErr error
-	for {
-		if bi == k {
-			if batchErr != nil {
-				if errors.Is(batchErr, io.EOF) {
-					break
-				}
-				return nil, nil, batchErr
-			}
-			k, batchErr = rr.ReadBatch(batch)
-			bi = 0
-			if k == 0 {
-				continue
-			}
-		}
-		e := batch[bi]
-		bi++
-		x1, x2 := e.R.X1, e.R.X2
-		i := childOfPoint(bounds, x1)
-		j := childOfSup(bounds, x2)
-		leftSpan := x1 == slabLo(n.slab, bounds, i)
-		rightSpan := x2 == slabHi(n.slab, bounds, j)
-		if i == j {
-			if leftSpan && rightSpan {
-				// The fragment coincides with a whole child slab.
-				spanEvent := e
-				spanEvent.R.X1, spanEvent.R.X2 = x1, x2
-				if err := spanWriter.Write(spanEvent); err != nil {
-					return nil, nil, err
-				}
-			} else if err := emit(i, e, x1, x2); err != nil {
-				return nil, nil, err
-			}
-			continue
-		}
-		spanStart, spanEnd := i, j
-		if !leftSpan {
-			if err := emit(i, e, x1, slabHi(n.slab, bounds, i)); err != nil {
-				return nil, nil, err
-			}
-			nHigh[i]++
-			spanStart = i + 1
-		}
-		if !rightSpan {
-			if err := emit(j, e, slabLo(n.slab, bounds, j), x2); err != nil {
-				return nil, nil, err
-			}
-			nLow[j]++
-			spanEnd = j - 1
-		}
-		if spanStart <= spanEnd {
-			spanEvent := e
-			spanEvent.R.X1 = slabLo(n.slab, bounds, spanStart)
-			spanEvent.R.X2 = slabHi(n.slab, bounds, spanEnd)
-			if err := spanWriter.Write(spanEvent); err != nil {
-				return nil, nil, err
-			}
-		}
-	}
-	for _, w := range eventWriters {
-		if err := w.Close(); err != nil {
-			return nil, nil, err
-		}
-	}
-	if err := spanWriter.Close(); err != nil {
-		return nil, nil, err
-	}
+	childEvents  []*em.File
+	eventWriters []*em.RecordWriter[rec.PieceEvent]
+	spanning     *em.File
+	spanWriter   *em.RecordWriter[rec.PieceEvent]
 
-	childEdges, err := s.splitEdges(n, bounds, nLow, nHigh)
-	if err != nil {
-		return nil, nil, err
-	}
-	children := make([]node, nc)
-	for i := range children {
-		children[i] = node{
-			events: childEvents[i],
-			edges:  childEdges[i],
-			slab:   geom.Interval{Lo: slabLo(n.slab, bounds, i), Hi: slabHi(n.slab, bounds, i)},
-			count:  counts[i],
-		}
-	}
-	return children, spanning, nil
+	counts []int64
+	nLow   []int64 // right-fragment clips at each child's low bound
+	nHigh  []int64 // left-fragment clips at each child's high bound
 }
 
-// splitEdges routes the parent's sorted edge values into per-child sorted
-// files: nLow[i] copies of the child's low bound, then the parent values
-// falling in the child's x-range, then nHigh[i] copies of the high bound.
-// On error every partial output file is released.
-func (s *task) splitEdges(n node, bounds []float64, nLow, nHigh []int64) (_ []*em.File, err error) {
+// newRouter allocates the child event files, the spanning file and their
+// writers. On error every partial file is released.
+func (s *task) newRouter(bounds []float64, slab geom.Interval) (_ *router, err error) {
 	nc := len(bounds) + 1
-	files := make([]*em.File, nc)
-	writers := make([]*em.RecordWriter[float64], nc)
+	rt := &router{
+		bounds:       bounds,
+		slab:         slab,
+		childEvents:  make([]*em.File, nc),
+		eventWriters: make([]*em.RecordWriter[rec.PieceEvent], nc),
+		counts:       make([]int64, nc),
+		nLow:         make([]int64, nc),
+		nHigh:        make([]int64, nc),
+	}
+	for i := range rt.childEvents {
+		rt.childEvents[i] = s.env.NewFile()
+	}
+	rt.spanning = s.env.NewFile()
 	defer func() {
 		if err != nil {
-			for _, f := range files {
-				if f != nil {
-					_ = f.Release()
-				}
-			}
+			rt.abort()
 		}
 	}()
-	for i := range files {
-		files[i] = s.env.NewFile()
-		w, err := em.NewRecordWriter(files[i], rec.Float64Codec{})
+	for i := range rt.childEvents {
+		w, err := em.NewRecordWriter(rt.childEvents[i], rec.PieceEventCodec{})
 		if err != nil {
 			return nil, err
 		}
-		writers[i] = w
-		lo := slabLo(n.slab, bounds, i)
+		rt.eventWriters[i] = w
+	}
+	rt.spanWriter, err = em.NewRecordWriter(rt.spanning, rec.PieceEventCodec{})
+	if err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+func (rt *router) emit(i int, e rec.PieceEvent, x1, x2 float64) error {
+	e.R.X1, e.R.X2 = x1, x2
+	rt.counts[i]++
+	return rt.eventWriters[i].Write(e)
+}
+
+// add routes one piece event (ascending y order).
+func (rt *router) add(e rec.PieceEvent) error {
+	x1, x2 := e.R.X1, e.R.X2
+	i := childOfPoint(rt.bounds, x1)
+	j := childOfSup(rt.bounds, x2)
+	leftSpan := x1 == slabLo(rt.slab, rt.bounds, i)
+	rightSpan := x2 == slabHi(rt.slab, rt.bounds, j)
+	if i == j {
+		if leftSpan && rightSpan {
+			// The fragment coincides with a whole child slab.
+			spanEvent := e
+			spanEvent.R.X1, spanEvent.R.X2 = x1, x2
+			return rt.spanWriter.Write(spanEvent)
+		}
+		return rt.emit(i, e, x1, x2)
+	}
+	spanStart, spanEnd := i, j
+	if !leftSpan {
+		if err := rt.emit(i, e, x1, slabHi(rt.slab, rt.bounds, i)); err != nil {
+			return err
+		}
+		rt.nHigh[i]++
+		spanStart = i + 1
+	}
+	if !rightSpan {
+		if err := rt.emit(j, e, slabLo(rt.slab, rt.bounds, j), x2); err != nil {
+			return err
+		}
+		rt.nLow[j]++
+		spanEnd = j - 1
+	}
+	if spanStart <= spanEnd {
+		spanEvent := e
+		spanEvent.R.X1 = slabLo(rt.slab, rt.bounds, spanStart)
+		spanEvent.R.X2 = slabHi(rt.slab, rt.bounds, spanEnd)
+		return rt.spanWriter.Write(spanEvent)
+	}
+	return nil
+}
+
+// finish seals every output file. On error the router's files are
+// released.
+func (rt *router) finish() (err error) {
+	defer func() {
+		if err != nil {
+			rt.abort()
+		}
+	}()
+	for _, w := range rt.eventWriters {
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	return rt.spanWriter.Close()
+}
+
+// abort releases the router's files (best effort, idempotent).
+func (rt *router) abort() {
+	for _, f := range rt.childEvents {
+		_ = f.Release()
+	}
+	_ = rt.spanning.Release()
+}
+
+// route performs the division phase over the node's y-sorted event file,
+// returning the child nodes (with their split edge files) and the spanning
+// file. On error every partial output file is released.
+func (s *task) route(n node, bounds []float64) (_ []node, _ *em.File, err error) {
+	rt, err := s.newRouter(bounds, n.slab)
+	if err != nil {
+		return nil, nil, err
+	}
+	rr, err := em.NewRecordReader(n.events, rec.PieceEventCodec{})
+	if err != nil {
+		rt.abort()
+		return nil, nil, err
+	}
+	batch := make([]rec.PieceEvent, eventBatch)
+	for {
+		k, rerr := rr.ReadBatch(batch)
+		for _, e := range batch[:k] {
+			if err := rt.add(e); err != nil {
+				rt.abort()
+				return nil, nil, err
+			}
+		}
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				break
+			}
+			rt.abort()
+			return nil, nil, rerr
+		}
+	}
+	if err := rt.finish(); err != nil {
+		return nil, nil, err
+	}
+	childEdges, err := s.splitEdges(n, bounds, rt.nLow, rt.nHigh)
+	if err != nil {
+		rt.abort()
+		return nil, nil, err
+	}
+	return assembleChildren(rt, childEdges, n.slab), rt.spanning, nil
+}
+
+// assembleChildren zips the router's event files with the split edge files
+// into child nodes.
+func assembleChildren(rt *router, childEdges []*em.File, slab geom.Interval) []node {
+	children := make([]node, len(rt.childEvents))
+	for i := range children {
+		children[i] = node{
+			events: rt.childEvents[i],
+			edges:  childEdges[i],
+			slab:   geom.Interval{Lo: slabLo(slab, rt.bounds, i), Hi: slabHi(slab, rt.bounds, i)},
+			count:  rt.counts[i],
+		}
+	}
+	return children
+}
+
+// edgeSplitter routes the parent's sorted edge values into per-child
+// sorted files: nLow[i] copies of the child's low bound (written up
+// front), then the parent values falling in the child's x-range, then
+// nHigh[i] copies of the high bound (written by finish). The splice keeps
+// each child's file sorted.
+type edgeSplitter struct {
+	bounds  []float64
+	slab    geom.Interval
+	files   []*em.File
+	writers []*em.RecordWriter[float64]
+	nHigh   []int64
+}
+
+// newEdgeSplitter allocates the per-child edge files and writes the
+// low-bound prologue. On error every partial file is released.
+func (s *task) newEdgeSplitter(bounds []float64, slab geom.Interval, nLow, nHigh []int64) (_ *edgeSplitter, err error) {
+	nc := len(bounds) + 1
+	es := &edgeSplitter{
+		bounds:  bounds,
+		slab:    slab,
+		files:   make([]*em.File, nc),
+		writers: make([]*em.RecordWriter[float64], nc),
+		nHigh:   nHigh,
+	}
+	defer func() {
+		if err != nil {
+			es.abort()
+		}
+	}()
+	for i := range es.files {
+		es.files[i] = s.env.NewFile()
+		w, err := em.NewRecordWriter(es.files[i], rec.Float64Codec{})
+		if err != nil {
+			return nil, err
+		}
+		es.writers[i] = w
+		lo := slabLo(slab, bounds, i)
 		if nLow[i] > 0 && math.IsInf(lo, 0) {
 			return nil, fmt.Errorf("core: %d clips at infinite bound %g", nLow[i], lo)
 		}
@@ -282,32 +375,28 @@ func (s *task) splitEdges(n node, bounds []float64, nLow, nHigh []int64) (_ []*e
 			}
 		}
 	}
-	rr, err := em.NewRecordReader(n.edges, rec.Float64Codec{})
-	if err != nil {
-		return nil, err
-	}
-	batch := make([]float64, edgeBatch)
-	for {
-		k, err := rr.ReadBatch(batch)
-		for _, v := range batch[:k] {
-			i := childOfPoint(bounds, v)
-			if err := writers[i].Write(v); err != nil {
-				return nil, err
-			}
-		}
+	return es, nil
+}
+
+// add routes one parent edge value (ascending order).
+func (es *edgeSplitter) add(v float64) error {
+	return es.writers[childOfPoint(es.bounds, v)].Write(v)
+}
+
+// finish writes the high-bound epilogues, seals the files and returns
+// them. On error every file is released.
+func (es *edgeSplitter) finish() (_ []*em.File, err error) {
+	defer func() {
 		if err != nil {
-			if errors.Is(err, io.EOF) {
-				break
-			}
-			return nil, err
+			es.abort()
 		}
-	}
-	for i, w := range writers {
-		hi := slabHi(n.slab, bounds, i)
-		if nHigh[i] > 0 && math.IsInf(hi, 0) {
-			return nil, fmt.Errorf("core: %d clips at infinite bound %g", nHigh[i], hi)
+	}()
+	for i, w := range es.writers {
+		hi := slabHi(es.slab, es.bounds, i)
+		if es.nHigh[i] > 0 && math.IsInf(hi, 0) {
+			return nil, fmt.Errorf("core: %d clips at infinite bound %g", es.nHigh[i], hi)
 		}
-		for k := int64(0); k < nHigh[i]; k++ {
+		for k := int64(0); k < es.nHigh[i]; k++ {
 			if err := w.Write(hi); err != nil {
 				return nil, err
 			}
@@ -316,5 +405,139 @@ func (s *task) splitEdges(n node, bounds []float64, nLow, nHigh []int64) (_ []*e
 			return nil, err
 		}
 	}
-	return files, nil
+	return es.files, nil
+}
+
+// abort releases the splitter's files (best effort, idempotent).
+func (es *edgeSplitter) abort() {
+	for _, f := range es.files {
+		if f != nil {
+			_ = f.Release()
+		}
+	}
+}
+
+// splitEdges streams the node's x-sorted edge-value file through an
+// edgeSplitter. On error every partial output file is released.
+func (s *task) splitEdges(n node, bounds []float64, nLow, nHigh []int64) ([]*em.File, error) {
+	es, err := s.newEdgeSplitter(bounds, n.slab, nLow, nHigh)
+	if err != nil {
+		return nil, err
+	}
+	rr, err := em.NewRecordReader(n.edges, rec.Float64Codec{})
+	if err != nil {
+		es.abort()
+		return nil, err
+	}
+	batch := make([]float64, edgeBatch)
+	for {
+		k, rerr := rr.ReadBatch(batch)
+		for _, v := range batch[:k] {
+			if err := es.add(v); err != nil {
+				es.abort()
+				return nil, err
+			}
+		}
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				break
+			}
+			es.abort()
+			return nil, rerr
+		}
+	}
+	return es.finish()
+}
+
+// divideFused is the root division driven straight off the final merge of
+// the two root sorts (merge→divide fusion, DESIGN.md §8). The sorted root
+// event and edge files are never written or re-read: the events merge
+// feeds the router directly, and the edges merge is replayed twice — once
+// into the boundsPicker, once into the edgeSplitter — at the cost of
+// re-reading the final merge level, which is never more expensive than the
+// write+read+read of the sorted edge file it replaces. Every record
+// reaches each sink in exactly the order the unfused path reads it from
+// the sorted files, so the children, the recursion below them, and the
+// result are bit-identical to Config.Unfused.
+func (s *task) divideFused(evb *extsort.RunBuilder[rec.PieceEvent], edb *extsort.RunBuilder[float64]) (_ *em.File, err error) {
+	count, countX := evb.Count(), edb.Count()
+	evRuns, err := evb.Finish()
+	if err != nil {
+		edb.Discard()
+		return nil, err
+	}
+	evm := extsort.NewMerger(s.env, evRuns, rec.PieceEventCodec{}, lessEventY, s.par)
+	defer func() {
+		if err != nil {
+			_ = evm.Release()
+		}
+	}()
+	edRuns, err := edb.Finish()
+	if err != nil {
+		return nil, err
+	}
+	edm := extsort.NewMerger(s.env, edRuns, rec.Float64Codec{}, lessFloat64, s.par)
+	defer func() {
+		if err != nil {
+			_ = edm.Release()
+		}
+	}()
+	if err := evm.Reduce(); err != nil {
+		return nil, err
+	}
+	if err := edm.Reduce(); err != nil {
+		return nil, err
+	}
+
+	slab := geom.Interval{Lo: math.Inf(-1), Hi: math.Inf(1)}
+	bp := newBoundsPicker(s.divisionFanout(), countX, slab)
+	if err := edm.MergeInto(func(v float64) error { bp.add(v); return nil }); err != nil {
+		return nil, err
+	}
+	bounds := bp.finish()
+	if len(bounds) == 0 {
+		// See solve: every edge value on the (infinite) root border is
+		// impossible for finite inputs. Tripwire.
+		return nil, fmt.Errorf("%w: no interior boundary in slab %v", ErrNoProgress, slab)
+	}
+
+	rt, err := s.newRouter(bounds, slab)
+	if err != nil {
+		return nil, err
+	}
+	if err := evm.MergeInto(rt.add); err != nil {
+		rt.abort()
+		return nil, err
+	}
+	if err := rt.finish(); err != nil {
+		return nil, err
+	}
+	if err := evm.Release(); err != nil {
+		rt.abort()
+		return nil, err
+	}
+
+	es, err := s.newEdgeSplitter(bounds, slab, rt.nLow, rt.nHigh)
+	if err != nil {
+		rt.abort()
+		return nil, err
+	}
+	if err := edm.MergeInto(es.add); err != nil {
+		rt.abort()
+		es.abort()
+		return nil, err
+	}
+	childEdges, err := es.finish()
+	if err != nil {
+		rt.abort()
+		return nil, err
+	}
+	if err := edm.Release(); err != nil {
+		rt.abort()
+		for _, f := range childEdges {
+			_ = f.Release()
+		}
+		return nil, err
+	}
+	return s.conquer(assembleChildren(rt, childEdges, slab), rt.spanning, bounds, slab, count, 0)
 }

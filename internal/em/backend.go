@@ -122,7 +122,10 @@ func (fb *fileBackend) Close() error {
 // NewFileBackedDisk returns a Disk whose blocks live in a temporary file
 // under dir ("" = the OS temp directory). The transfer counters behave
 // identically to the in-memory disk; only the storage medium differs.
-// Call Close when done to remove the backing file.
+// Stream pipelining (prefetch + write-behind, DESIGN.md §8) is enabled by
+// default so sequential scans overlap real disk latency with CPU; disable
+// with SetPipelining(false) — counts are identical either way. Call Close
+// when done to remove the backing file.
 func NewFileBackedDisk(dir string, blockSize int) (*Disk, error) {
 	if blockSize <= 0 {
 		return nil, ErrBlockSize
@@ -131,8 +134,10 @@ func NewFileBackedDisk(dir string, blockSize int) (*Disk, error) {
 	if err != nil {
 		return nil, fmt.Errorf("em: backing file: %w", err)
 	}
-	return &Disk{
+	d := &Disk{
 		blockSize: blockSize,
 		backend:   newFileBackend(f, blockSize),
-	}, nil
+	}
+	d.pipelined.Store(true)
+	return d, nil
 }

@@ -66,15 +66,30 @@ type Disk struct {
 	blockSize int
 	backend   backend
 
-	// mu guards live and freeList. ReadBlock/WriteBlock take it in read
-	// mode only to validate ids against the (append-only) live table.
-	mu        sync.RWMutex
-	live      []bool
-	freeList  []BlockID
+	// mu guards live, gen and freeList. ReadBlock/WriteBlock take it in
+	// read mode only to validate ids against the (append-only) live table.
+	mu       sync.RWMutex
+	live     []bool
+	freeList []BlockID
+	// gen counts how many times each block has been freed. A write-behind
+	// goroutine presents the generation captured at allocation; if its
+	// block was freed (an abandoned pipelined writer on an error path) —
+	// and possibly handed to a new owner — in the meantime, the stale
+	// write is rejected instead of corrupting the new owner's data. Reads
+	// need no guard: a stale prefetch lands in a private buffer that is
+	// never consumed.
+	gen       []uint32
 	liveCount atomic.Int64 // O(1) InUse, maintained by Alloc/Free
 
 	reads  atomic.Uint64
 	writes atomic.Uint64
+
+	// pipelined enables stream prefetch / write-behind (DESIGN.md §8);
+	// pipeReads/pipeWrites count the transfers that rode the background
+	// path (a subset of reads/writes — never extra transfers).
+	pipelined  atomic.Bool
+	pipeReads  atomic.Uint64
+	pipeWrites atomic.Uint64
 }
 
 // NewDisk returns an in-memory Disk with the given block size in bytes.
@@ -110,6 +125,29 @@ func (d *Disk) Stats() Stats {
 func (d *Disk) ResetStats() {
 	d.reads.Store(0)
 	d.writes.Store(0)
+	d.pipeReads.Store(0)
+	d.pipeWrites.Store(0)
+}
+
+// SetPipelining enables or disables prefetch / write-behind on streams
+// created afterwards (DESIGN.md §8): Readers double-buffer read-ahead and
+// Writers write behind, each via one short-lived background goroutine per
+// block, overlapping backend latency with CPU. Transfer counts are
+// identical either way — pipelining changes wall-clock only — at the cost
+// of one extra block of memory per open stream. Default: off for
+// in-memory disks (their "transfers" are memcpys with nothing to overlap),
+// on for file-backed disks.
+func (d *Disk) SetPipelining(on bool) { d.pipelined.Store(on) }
+
+// Pipelined reports whether streams created now would use prefetch /
+// write-behind.
+func (d *Disk) Pipelined() bool { return d.pipelined.Load() }
+
+// PipelineStats returns how many read and write transfers were performed
+// by the background prefetch / write-behind path since the last
+// ResetStats. Divide by Stats() for the pipeline coverage ratio.
+func (d *Disk) PipelineStats() (reads, writes uint64) {
+	return d.pipeReads.Load(), d.pipeWrites.Load()
 }
 
 // Close releases backend resources (removes the backing file of a
@@ -117,6 +155,7 @@ func (d *Disk) ResetStats() {
 func (d *Disk) Close() error {
 	d.mu.Lock()
 	d.live = nil
+	d.gen = nil
 	d.freeList = nil
 	d.liveCount.Store(0)
 	d.mu.Unlock()
@@ -135,6 +174,7 @@ func (d *Disk) Alloc() BlockID {
 	} else {
 		id = BlockID(len(d.live))
 		d.live = append(d.live, false)
+		d.gen = append(d.gen, 0)
 	}
 	if err := d.backend.grow(id); err != nil {
 		// Growth failures (disk full) surface on the next access; a full
@@ -155,6 +195,7 @@ func (d *Disk) Free(id BlockID) error {
 		return err
 	}
 	d.live[id] = false
+	d.gen[id]++
 	d.liveCount.Add(-1)
 	d.freeList = append(d.freeList, id)
 	if m, ok := d.backend.(*memBackend); ok {
@@ -192,6 +233,40 @@ func (d *Disk) WriteBlock(id BlockID, src []byte) error {
 	defer d.mu.RUnlock()
 	if err := d.checkLocked(id); err != nil {
 		return err
+	}
+	if len(src) > d.blockSize {
+		return fmt.Errorf("em: write of %d bytes exceeds block size %d", len(src), d.blockSize)
+	}
+	if err := d.backend.write(id, src); err != nil {
+		return err
+	}
+	d.writes.Add(1)
+	return nil
+}
+
+// allocGen is Alloc plus the block's current free generation — the token
+// a background write-behind must present to writeBlockGen.
+func (d *Disk) allocGen() (BlockID, uint32) {
+	id := d.Alloc()
+	d.mu.RLock()
+	g := d.gen[id]
+	d.mu.RUnlock()
+	return id, g
+}
+
+// writeBlockGen is WriteBlock gated on the free generation captured at
+// allocation: a stale background write — its block freed, and possibly
+// reallocated to a new owner, after the write was launched — is rejected
+// under the same read lock that excludes Free, so it can never land on
+// another file's data.
+func (d *Disk) writeBlockGen(id BlockID, g uint32, src []byte) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.checkLocked(id); err != nil {
+		return err
+	}
+	if d.gen[id] != g {
+		return fmt.Errorf("%w: %d (stale background write)", ErrFreedBlock, id)
 	}
 	if len(src) > d.blockSize {
 		return fmt.Errorf("em: write of %d bytes exceeds block size %d", len(src), d.blockSize)

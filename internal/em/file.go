@@ -47,15 +47,35 @@ func (f *File) Release() error {
 	return nil
 }
 
-// Writer appends bytes to a File through a single in-memory block buffer
-// (one block of the writer's memory budget). Every filled block costs one
-// write transfer; Close flushes the final partial block.
+// Writer appends bytes to a File through an in-memory block buffer. Every
+// filled block costs one write transfer; Close flushes the final partial
+// block.
+//
+// On a pipelined Disk (Disk.SetPipelining, DESIGN.md §8) the Writer runs
+// write-behind: a filled block is handed to a short-lived background
+// goroutine while the caller keeps filling a second buffer, overlapping
+// the backend's write latency with record encoding. The transfer schedule
+// — which blocks, how many, in what file order — is identical to the
+// synchronous path; only wall-clock changes. A background write error
+// surfaces on the next flush or at Close. The double buffer costs one
+// extra block of the writer's memory budget.
 type Writer struct {
 	file   *File
 	scope  *ScopeStats
 	buf    []byte
 	n      int // bytes buffered
 	closed bool
+	wb     *writeBehind
+}
+
+// writeBehind is the write-behind state: the spare buffer the caller fills
+// while the previous block is written in the background, and the in-flight
+// write's completion channel (buffered, so an abandoned writer can never
+// leak its goroutine).
+type writeBehind struct {
+	spare    []byte
+	ch       chan error
+	inflight bool
 }
 
 // NewWriter returns a Writer appending to f. f must be empty or previously
@@ -63,7 +83,11 @@ type Writer struct {
 // the caller must avoid (write-once discipline). Transfers are charged to
 // the file's scope (if any) on top of the disk-global counters.
 func (f *File) NewWriter() *Writer {
-	return &Writer{file: f, scope: f.scope, buf: make([]byte, f.disk.blockSize)}
+	w := &Writer{file: f, scope: f.scope, buf: make([]byte, f.disk.blockSize)}
+	if f.disk.Pipelined() {
+		w.wb = &writeBehind{spare: make([]byte, f.disk.blockSize), ch: make(chan error, 1)}
+	}
+	return w
 }
 
 // Write buffers p, flushing full blocks to disk. It never fails short.
@@ -89,28 +113,79 @@ func (w *Writer) flush() error {
 	if w.n == 0 {
 		return nil
 	}
-	id := w.file.disk.Alloc()
-	if err := w.file.disk.WriteBlock(id, w.buf[:w.n]); err != nil {
+	if err := w.awaitWrite(); err != nil {
 		return err
 	}
-	w.scope.addWrite()
+	if w.wb == nil {
+		id := w.file.disk.Alloc()
+		if err := w.file.disk.WriteBlock(id, w.buf[:w.n]); err != nil {
+			return err
+		}
+		w.scope.addWrite()
+		w.file.blocks = append(w.file.blocks, id)
+		w.file.size += int64(w.n)
+		w.n = 0
+		return nil
+	}
+	id, gen := w.file.disk.allocGen()
+	full := w.buf[:w.n]
+	w.buf, w.wb.spare = w.wb.spare, w.buf
+	w.wb.inflight = true
+	go writeBehindBlock(w.file, id, gen, full, w.scope, w.wb.ch)
 	w.file.blocks = append(w.file.blocks, id)
 	w.file.size += int64(w.n)
 	w.n = 0
 	return nil
 }
 
-// Close flushes the final partial block. Further writes fail with ErrClosed.
+// awaitWrite drains the in-flight background write, if any.
+func (w *Writer) awaitWrite() error {
+	if w.wb == nil || !w.wb.inflight {
+		return nil
+	}
+	w.wb.inflight = false
+	return <-w.wb.ch
+}
+
+// writeBehindBlock is the one-shot write-behind goroutine body: it always
+// terminates after a single transfer and a buffered send, so a Writer
+// abandoned on an error path cannot leak it. The write is gated on the
+// block generation captured at allocation (writeBlockGen), so if the
+// abandoned writer's file was already released — and the block handed to
+// a new owner — the stale write is rejected instead of corrupting it.
+func writeBehindBlock(f *File, id BlockID, gen uint32, src []byte, sc *ScopeStats, ch chan<- error) {
+	err := f.disk.writeBlockGen(id, gen, src)
+	if err == nil {
+		sc.addWrite()
+		f.disk.pipeWrites.Add(1)
+	}
+	ch <- err
+}
+
+// Close flushes the final partial block and drains any in-flight
+// background write. Further writes fail with ErrClosed.
 func (w *Writer) Close() error {
 	if w.closed {
 		return nil
 	}
 	w.closed = true
-	return w.flush()
+	if err := w.flush(); err != nil {
+		return err
+	}
+	return w.awaitWrite()
 }
 
-// Reader streams a File sequentially through a single in-memory block
-// buffer. Every block fetched costs one read transfer.
+// Reader streams a File sequentially through an in-memory block buffer.
+// Every block fetched costs one read transfer.
+//
+// On a pipelined Disk (Disk.SetPipelining, DESIGN.md §8) the Reader runs
+// double-buffered read-ahead: while the caller consumes block k, a
+// short-lived background goroutine fetches block k+1 into a spare buffer,
+// overlapping the backend's read latency with record decoding. Read-ahead
+// never fetches past the file's last block, and a fully consumed stream
+// performs exactly the transfers of the synchronous path; only wall-clock
+// changes. The double buffer costs one extra block of the reader's memory
+// budget.
 type Reader struct {
 	file  *File
 	scope *ScopeStats
@@ -118,12 +193,27 @@ type Reader struct {
 	next  int // next block index to fetch
 	avail []byte
 	off   int64 // bytes consumed so far
+	pre   *prefetcher
+}
+
+// prefetcher is the read-ahead state: the spare buffer the background
+// fetch fills and the in-flight fetch's completion channel (buffered, so
+// an abandoned reader can never leak its goroutine).
+type prefetcher struct {
+	spare    []byte
+	ch       chan error
+	idx      int // block index the in-flight fetch targets
+	inflight bool
 }
 
 // NewReader returns a Reader positioned at the start of f, charging
 // transfers to the file's scope (if any).
 func (f *File) NewReader() *Reader {
-	return &Reader{file: f, scope: f.scope, buf: make([]byte, f.disk.blockSize)}
+	r := &Reader{file: f, scope: f.scope, buf: make([]byte, f.disk.blockSize)}
+	if f.disk.Pipelined() {
+		r.pre = &prefetcher{spare: make([]byte, f.disk.blockSize), ch: make(chan error, 1)}
+	}
+	return r
 }
 
 // NewReaderScoped is NewReader with the transfer attribution overridden to
@@ -160,10 +250,19 @@ func (r *Reader) fill() error {
 	if r.next >= len(r.file.blocks) {
 		return io.EOF
 	}
-	if err := r.file.disk.ReadBlock(r.file.blocks[r.next], r.buf); err != nil {
-		return err
+	if r.pre != nil && r.pre.inflight && r.pre.idx == r.next {
+		err := <-r.pre.ch
+		r.pre.inflight = false
+		if err != nil {
+			return err
+		}
+		r.buf, r.pre.spare = r.pre.spare, r.buf
+	} else {
+		if err := r.file.disk.ReadBlock(r.file.blocks[r.next], r.buf); err != nil {
+			return err
+		}
+		r.scope.addRead()
 	}
-	r.scope.addRead()
 	// The final block may be partial.
 	n := int64(r.file.disk.blockSize)
 	if rem := r.file.size - int64(r.next)*n; rem < n {
@@ -172,7 +271,24 @@ func (r *Reader) fill() error {
 		r.avail = r.buf[:n]
 	}
 	r.next++
+	if r.pre != nil && r.next < len(r.file.blocks) {
+		r.pre.idx = r.next
+		r.pre.inflight = true
+		go prefetchBlock(r.file, r.file.blocks[r.next], r.pre.spare, r.scope, r.pre.ch)
+	}
 	return nil
+}
+
+// prefetchBlock is the one-shot read-ahead goroutine body: it always
+// terminates after a single transfer and a buffered send, so a Reader
+// abandoned mid-stream cannot leak it.
+func prefetchBlock(f *File, id BlockID, dst []byte, sc *ScopeStats, ch chan<- error) {
+	err := f.disk.ReadBlock(id, dst)
+	if err == nil {
+		sc.addRead()
+		f.disk.pipeReads.Add(1)
+	}
+	ch <- err
 }
 
 // Offset returns the number of bytes consumed so far.

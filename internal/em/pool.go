@@ -18,6 +18,13 @@ type BufferPool struct {
 	lru    *list.List // front = most recently used; values are *frame
 	byID   map[BlockID]*list.Element
 
+	// free holds the byte slices of evicted frames for reuse: once the
+	// pool is warm, a miss recycles the slice the eviction just vacated
+	// instead of allocating a fresh block — which in the aSB-tree
+	// baseline's random-access loop turns one make([]byte, B) per miss of
+	// GC churn into zero steady-state allocations. Bounded by frames.
+	free [][]byte
+
 	hits, misses uint64
 }
 
@@ -60,7 +67,7 @@ func (p *BufferPool) Get(id BlockID) ([]byte, error) {
 		return el.Value.(*frame).data, nil
 	}
 	p.misses++
-	fr := &frame{id: id, data: make([]byte, p.disk.blockSize)}
+	fr := &frame{id: id, data: p.frameBuf()}
 	if err := p.disk.ReadBlock(id, fr.data); err != nil {
 		return nil, err
 	}
@@ -77,11 +84,24 @@ func (p *BufferPool) GetNew(id BlockID) ([]byte, error) {
 	if _, ok := p.byID[id]; ok {
 		return nil, fmt.Errorf("em: GetNew of cached block %d", id)
 	}
-	fr := &frame{id: id, data: make([]byte, p.disk.blockSize), dirty: true}
+	fr := &frame{id: id, data: p.frameBuf(), dirty: true}
+	clear(fr.data)
 	if err := p.insert(fr); err != nil {
 		return nil, err
 	}
 	return fr.data, nil
+}
+
+// frameBuf returns a block-sized byte slice, recycling an evicted frame's
+// slice when one is available. Contents are unspecified; Get overwrites
+// via ReadBlock and GetNew clears.
+func (p *BufferPool) frameBuf() []byte {
+	if n := len(p.free); n > 0 {
+		buf := p.free[n-1]
+		p.free = p.free[:n-1]
+		return buf
+	}
+	return make([]byte, p.disk.blockSize)
 }
 
 func (p *BufferPool) insert(fr *frame) error {
@@ -108,6 +128,8 @@ func (p *BufferPool) evict() error {
 	}
 	p.lru.Remove(el)
 	delete(p.byID, fr.id)
+	p.free = append(p.free, fr.data)
+	fr.data = nil
 	return nil
 }
 

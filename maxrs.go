@@ -160,7 +160,39 @@ type Options struct {
 	// backing file. Transfer accounting is identical either way.
 	OnDisk    bool
 	OnDiskDir string
+	// Pipeline controls prefetch / write-behind on the engine's disk
+	// streams (DESIGN.md §8): readers double-buffer read-ahead and writers
+	// write behind, overlapping storage latency with CPU. PipelineAuto
+	// (the default) enables it for OnDisk engines — where a block transfer
+	// is a real syscall worth hiding — and disables it in memory, where
+	// there is nothing to overlap. For every query that completes, results
+	// and block-transfer counts (global and per-query Stats) are identical
+	// in every mode; only wall-clock changes. A query abandoned by an
+	// error mid-scan may charge one extra read per dropped stream for a
+	// block the synchronous mode would not have fetched yet.
+	Pipeline PipelineMode
+	// Unfused disables ExactMaxRS's root pass fusion (DESIGN.md §8),
+	// restoring the materialize-sort-reread pipeline. Kept for ablation
+	// and regression comparison: results are bit-identical, the fused
+	// default just transfers fewer blocks.
+	Unfused bool
 }
+
+// PipelineMode selects the stream prefetch / write-behind behavior of an
+// Engine's disk (see Options.Pipeline).
+type PipelineMode int
+
+// Pipeline modes.
+const (
+	// PipelineAuto pipelines OnDisk engines and leaves in-memory engines
+	// synchronous.
+	PipelineAuto PipelineMode = iota
+	// PipelineOff forces synchronous streams.
+	PipelineOff
+	// PipelineOn forces pipelined streams (useful for testing the
+	// count-invariance contract on the in-memory backend).
+	PipelineOn
+)
 
 func (o *Options) withDefaults() Options {
 	out := Options{}
@@ -230,7 +262,18 @@ func NewEngine(opts *Options) (*Engine, error) {
 			return nil, err
 		}
 	}
-	solver, err := core.NewSolver(env, core.Config{Fanout: o.Fanout, Parallelism: o.Parallelism})
+	switch o.Pipeline {
+	case PipelineAuto:
+		env.Disk.SetPipelining(o.OnDisk)
+	case PipelineOn:
+		env.Disk.SetPipelining(true)
+	case PipelineOff:
+		env.Disk.SetPipelining(false)
+	default:
+		_ = env.Disk.Close()
+		return nil, fmt.Errorf("maxrs: unknown pipeline mode %d", o.Pipeline)
+	}
+	solver, err := core.NewSolver(env, core.Config{Fanout: o.Fanout, Parallelism: o.Parallelism, Unfused: o.Unfused})
 	if err != nil {
 		return nil, err
 	}
