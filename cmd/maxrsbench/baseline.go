@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ioSeriesMarker selects the baseline-gated metrics: series measured in
+// deterministic block transfers. Wall-clock and coverage series are
+// informational — machine-dependent numbers must never gate CI.
+const ioSeriesMarker = "(block transfers)"
+
+// compareBaseline checks the current run's I/O metrics against a
+// committed baseline summary (bench/baseline.json in CI) and returns an
+// error if any transfer count increased — the perf-regression gate.
+// Experiments, series, or labels absent from the baseline pass (new
+// metrics are allowed before the baseline is refreshed); a baseline
+// recorded at different -scale, -bufscale, or -seed is a configuration
+// error, because transfer counts are only comparable on identical
+// workloads. Improvements are reported so the baseline can be ratcheted
+// down.
+func compareBaseline(out io.Writer, path string, cur jsonSummary) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base jsonSummary
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if base.Scale != cur.Scale || base.BufScale != cur.BufScale || base.Seed != cur.Seed {
+		return fmt.Errorf("baseline %s recorded at scale=%g bufscale=%g seed=%d, run is scale=%g bufscale=%g seed=%d — counts are not comparable",
+			path, base.Scale, base.BufScale, base.Seed, cur.Scale, cur.BufScale, cur.Seed)
+	}
+	baseExps := map[string]jsonExperiment{}
+	for _, e := range base.Experiments {
+		baseExps[e.Name] = e
+	}
+	var regressions []string
+	compared, improved := 0, 0
+	for _, exp := range cur.Experiments {
+		baseExp, ok := baseExps[exp.Name]
+		if !ok {
+			continue
+		}
+		for _, s := range exp.Series {
+			if !strings.Contains(s.Title, ioSeriesMarker) {
+				continue
+			}
+			var baseVals map[string][]float64
+			for _, bs := range baseExp.Series {
+				if bs.Title == s.Title {
+					baseVals = bs.Values
+					break
+				}
+			}
+			if baseVals == nil {
+				continue
+			}
+			for label, vals := range s.Values {
+				bvals, ok := baseVals[label]
+				if !ok {
+					continue
+				}
+				for i, v := range vals {
+					if i >= len(bvals) {
+						break
+					}
+					compared++
+					switch {
+					case v > bvals[i]:
+						regressions = append(regressions, fmt.Sprintf(
+							"%s / %q / %s[%d]: %.0f > baseline %.0f (+%.1f%%)",
+							exp.Name, s.Title, label, i, v, bvals[i], 100*(v-bvals[i])/bvals[i]))
+					case v < bvals[i]:
+						improved++
+						fmt.Fprintf(out, "[baseline] improvement: %s / %s[%d]: %.0f < %.0f — consider refreshing %s\n",
+							exp.Name, label, i, v, bvals[i], path)
+					}
+				}
+			}
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("baseline %s: no comparable I/O metrics — run the experiments the baseline was recorded with", path)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("baseline %s: %d I/O regression(s):\n  %s",
+			path, len(regressions), strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(out, "[baseline] %d I/O metrics within baseline (%d improved) ✓\n", compared, improved)
+	return nil
+}

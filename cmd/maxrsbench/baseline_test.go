@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"maxrs/internal/experiments"
+)
+
+// benchSummary builds a minimal summary with one gated I/O series and
+// one wall-clock series that must never gate.
+func benchSummary(ioVal, nsVal float64) jsonSummary {
+	return jsonSummary{
+		Scale: 0.05, BufScale: 0.05, Seed: 2012,
+		Experiments: []jsonExperiment{{
+			Name: "shard",
+			Series: []experiments.Series{
+				{
+					Title:  "shard: I/O per query (block transfers)",
+					X:      []float64{0, 2},
+					Values: map[string][]float64{"uniform": {ioVal, ioVal - 1}},
+				},
+				{
+					Title:  "shard: best wall-clock per query (ns)",
+					X:      []float64{0, 2},
+					Values: map[string][]float64{"uniform": {nsVal, nsVal}},
+				},
+			},
+		}},
+	}
+}
+
+func writeBaseline(t *testing.T, sum jsonSummary) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	data, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareBaseline(t *testing.T) {
+	base := benchSummary(1000, 5e6)
+	path := writeBaseline(t, base)
+
+	// Identical run: passes.
+	if err := compareBaseline(io.Discard, path, benchSummary(1000, 5e6)); err != nil {
+		t.Fatalf("identical run failed the gate: %v", err)
+	}
+	// Fewer transfers: passes (improvement).
+	if err := compareBaseline(io.Discard, path, benchSummary(900, 5e6)); err != nil {
+		t.Fatalf("improvement failed the gate: %v", err)
+	}
+	// More transfers: fails.
+	err := compareBaseline(io.Discard, path, benchSummary(1001, 5e6))
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("transfer increase passed the gate: %v", err)
+	}
+	// Slower wall-clock alone: passes — ns is machine-dependent.
+	if err := compareBaseline(io.Discard, path, benchSummary(1000, 9e9)); err != nil {
+		t.Fatalf("wall-clock noise failed the gate: %v", err)
+	}
+	// Mismatched workload configuration: refused.
+	other := benchSummary(1000, 5e6)
+	other.Scale = 1
+	if err := compareBaseline(io.Discard, path, other); err == nil {
+		t.Fatal("scale mismatch passed the gate")
+	}
+	// A run with nothing comparable: refused (the gate must not
+	// silently pass when the experiments were not run).
+	empty := jsonSummary{Scale: 0.05, BufScale: 0.05, Seed: 2012}
+	if err := compareBaseline(io.Discard, path, empty); err == nil {
+		t.Fatal("empty run passed the gate")
+	}
+	// Missing baseline file: surfaced.
+	if err := compareBaseline(io.Discard, filepath.Join(t.TempDir(), "nope.json"), base); err == nil {
+		t.Fatal("missing baseline passed the gate")
+	}
+}

@@ -70,13 +70,14 @@ func parseLevels(s string) ([]int, error) {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "comma-separated: table2,table3,fig12,fig13,fig14,fig15,fig16,fig17,all,load,fusion (load and fusion are never part of all)")
+		exp        = flag.String("exp", "all", "comma-separated: table2,table3,fig12,fig13,fig14,fig15,fig16,fig17,all,load,fusion,shard (load, fusion and shard are never part of all)")
 		scale      = flag.Float64("scale", 1.0, "cardinality scale factor (1 = paper scale)")
 		bufscale   = flag.Float64("bufscale", 0, "buffer scale factor (default: same as -scale)")
 		seed       = flag.Int64("seed", 2012, "data generation seed")
 		oracleCap  = flag.Int("oraclecap", 50000, "max points fed to the exact MaxCRS oracle (fig17)")
 		parallel   = flag.Int("parallel", 0, "worker goroutines for panel points and the solver (0 = GOMAXPROCS, 1 = sequential)")
 		jsonPath   = flag.String("json", "", "also write a BENCH_*.json summary to this path")
+		baseline   = flag.String("baseline", "", "compare this run's I/O metrics against a committed BENCH summary and exit 1 on any increase (the CI perf-regression gate)")
 		loadObjs   = flag.Int("loadobjs", 20000, "load mode: dataset cardinality")
 		loadQuery  = flag.Int("loadqueries", 64, "load mode: queries per concurrency level")
 		loadLevels = flag.String("loadlevels", "1,2,4,8", "load mode: comma-separated query-goroutine counts")
@@ -126,15 +127,61 @@ func main() {
 		}
 		fmt.Printf("[json summary written to %s]\n", *jsonPath)
 	}
-	if want["fusion"] {
-		n := int(float64(experiments.DefaultCardinality) * *scale)
+	// finish ends the run: write the JSON summary, then gate on the
+	// committed baseline (deterministic transfer counts only — see
+	// compareBaseline) when -baseline is set.
+	finish := func() {
+		writeSummary()
+		if *baseline != "" {
+			if err := compareBaseline(os.Stdout, *baseline, summary); err != nil {
+				fmt.Fprintf(os.Stderr, "maxrsbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	// scaledWorkload sizes the fusion and shard gate workloads from the
+	// shared flags — one definition, so the two experiments' baselines
+	// stay comparable.
+	scaledWorkload := func() (n, mem int) {
+		n = int(float64(experiments.DefaultCardinality) * *scale)
 		if n < 2000 {
 			n = 2000 // keep the workload non-trivial at tiny scales
 		}
-		mem := int(float64(experiments.DefaultBufSynthetic) * *bufscale)
+		mem = int(float64(experiments.DefaultBufSynthetic) * *bufscale)
 		if mem < 8*experiments.DefaultBlockSize {
 			mem = 8 * experiments.DefaultBlockSize
 		}
+		return n, mem
+	}
+	if want["shard"] {
+		n, mem := scaledWorkload()
+		start := time.Now()
+		series, err := runShard(shardBenchConfig{
+			objects: n,
+			iters:   3,
+			seed:    *seed,
+			memory:  mem,
+			par:     *parallel,
+			out:     os.Stdout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shard: %v\n", err)
+			os.Exit(1)
+		}
+		summary.Experiments = append(summary.Experiments, jsonExperiment{
+			Name:      "shard",
+			ElapsedMS: time.Since(start).Milliseconds(),
+			Series:    series,
+		})
+		delete(want, "shard")
+		if len(want) == 0 {
+			finish()
+			return
+		}
+		fmt.Println()
+	}
+	if want["fusion"] {
+		n, mem := scaledWorkload()
 		start := time.Now()
 		series, err := runFusion(fusionConfig{
 			objects: n,
@@ -155,7 +202,7 @@ func main() {
 		})
 		delete(want, "fusion")
 		if len(want) == 0 {
-			writeSummary()
+			finish()
 			return
 		}
 		fmt.Println()
@@ -186,7 +233,7 @@ func main() {
 		})
 		delete(want, "load")
 		if len(want) == 0 {
-			writeSummary()
+			finish()
 			return
 		}
 		fmt.Println()
@@ -240,5 +287,5 @@ func main() {
 		return []experiments.Series{s}, nil
 	})
 
-	writeSummary()
+	finish()
 }

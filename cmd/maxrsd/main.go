@@ -17,6 +17,8 @@
 //	PUT    /datasets/{name}         load CSV from the request body
 //	PUT    /datasets/{name}?path=P  load CSV from P under -datadir
 //	                                (requires -datadir; confined to it)
+//	PUT    /datasets/{name}?shards=K  solve queries on this dataset K-way
+//	                                sharded (overrides -shards; 0 = default)
 //	DELETE /datasets/{name}         release a dataset (safe mid-query)
 //	POST   /query                   {"dataset":"d","op":"maxrs","w":4,"h":4}
 //	                                {"dataset":"d","op":"topk","w":4,"h":4,"k":3}
@@ -49,6 +51,7 @@ func main() {
 		blockSize = flag.Int("block", 4096, "EM block size B in bytes")
 		memory    = flag.Int("mem", 1<<20, "EM memory budget M in bytes")
 		parallel  = flag.Int("parallel", 0, "solver worker goroutines shared by all queries (0 = GOMAXPROCS)")
+		shards    = flag.Int("shards", 0, "default shard count for object queries (0 = unsharded; PUT ?shards=K overrides per dataset)")
 		onDisk    = flag.Bool("ondisk", false, "back blocks with a temp file instead of process memory")
 		onDiskDir = flag.String("ondiskdir", "", "directory for the -ondisk backing file (default: system temp)")
 		dataDir   = flag.String("datadir", "", "directory PUT /datasets/{name}?path= may read CSV files from (empty disables server-local loads)")
@@ -60,6 +63,7 @@ func main() {
 		Parallelism: *parallel,
 		OnDisk:      *onDisk,
 		OnDiskDir:   *onDiskDir,
+		Shards:      *shards,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "maxrsd: %v\n", err)

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -79,9 +80,20 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	// Marshal before writing the header: a value JSON cannot represent —
+	// e.g. a degenerate query whose optimal region is unbounded, making
+	// the location ±Inf — must surface as an error, not as a silent
+	// empty 200 (Encode-after-WriteHeader would fail mid-response).
+	data, err := json.Marshal(v)
+	if err != nil {
+		code = http.StatusInternalServerError
+		data, _ = json.Marshal(map[string]string{
+			"error": fmt.Sprintf("response not representable in JSON (degenerate result?): %v", err),
+		})
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(append(data, '\n'))
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -116,13 +128,18 @@ type datasetInfo struct {
 	Name    string `json:"name"`
 	Objects int    `json:"objects"`
 	Blocks  int    `json:"blocks"`
+	// Shards is the dataset's shard-count override (0 = the engine's
+	// -shards default applies).
+	Shards int `json:"shards,omitempty"`
 }
 
 func (s *server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	infos := make([]datasetInfo, 0, len(s.datasets))
 	for name, e := range s.datasets {
-		infos = append(infos, datasetInfo{Name: name, Objects: e.ds.Len(), Blocks: e.ds.Blocks()})
+		infos = append(infos, datasetInfo{
+			Name: name, Objects: e.ds.Len(), Blocks: e.ds.Blocks(), Shards: e.ds.Shards(),
+		})
 	}
 	s.mu.RUnlock()
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
@@ -136,11 +153,21 @@ const maxUpload = 256 << 20
 // straight to the engine's disk) or, with ?path=, from a CSV file under
 // the server's -datadir (disabled when no -datadir is configured, and
 // confined to it — HTTP clients must not be able to read arbitrary
-// server files). An existing dataset under the same name is replaced
-// atomically: queries running against the old one finish on its
-// (reference-counted) blocks.
+// server files). With ?shards=K, queries on the dataset run K-way
+// sharded (DESIGN.md §9), overriding the server's -shards default. An
+// existing dataset under the same name is replaced atomically: queries
+// running against the old one finish on its (reference-counted) blocks.
 func (s *server) handlePutDataset(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	shards := 0
+	if v := r.URL.Query().Get("shards"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil || k < 0 {
+			httpError(w, http.StatusBadRequest, "bad shards=%q: want an integer ≥ 0", v)
+			return
+		}
+		shards = k
+	}
 	var src io.Reader = http.MaxBytesReader(w, r.Body, maxUpload)
 	if path := r.URL.Query().Get("path"); path != "" {
 		f, err := s.openDataPath(path)
@@ -160,6 +187,11 @@ func (s *server) handlePutDataset(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "load: %v", err)
 		return
 	}
+	if err := ds.SetShards(shards); err != nil {
+		_ = ds.Release()
+		httpError(w, http.StatusBadRequest, "shards: %v", err)
+		return
+	}
 	entry := &dsEntry{ds: ds, gen: s.nextGen.Add(1)}
 	s.mu.Lock()
 	old := s.datasets[name]
@@ -168,7 +200,9 @@ func (s *server) handlePutDataset(w http.ResponseWriter, r *http.Request) {
 	if old != nil {
 		_ = old.ds.Release() // safe while in-flight queries still hold it
 	}
-	writeJSON(w, http.StatusCreated, datasetInfo{Name: name, Objects: ds.Len(), Blocks: ds.Blocks()})
+	writeJSON(w, http.StatusCreated, datasetInfo{
+		Name: name, Objects: ds.Len(), Blocks: ds.Blocks(), Shards: shards,
+	})
 }
 
 func (s *server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
@@ -208,10 +242,20 @@ type statsJSON struct {
 	Total  uint64 `json:"total"`
 }
 
+// shardStatJSON is one shard's slice of a sharded query's cost.
+type shardStatJSON struct {
+	Objects int64     `json:"objects"`
+	Stats   statsJSON `json:"stats"`
+}
+
 type queryResult struct {
 	Location pointJSON `json:"location"`
 	Score    float64   `json:"score"`
 	Stats    statsJSON `json:"stats"`
+	// Shards is the per-shard breakdown of Stats for sharded queries
+	// (datasets loaded with ?shards=K or a -shards server default);
+	// omitted for unsharded queries.
+	Shards []shardStatJSON `json:"shards,omitempty"`
 }
 
 type queryResponse struct {
@@ -222,11 +266,18 @@ type queryResponse struct {
 }
 
 func fromResult(r maxrs.Result) queryResult {
-	return queryResult{
+	out := queryResult{
 		Location: pointJSON{X: r.Location.X, Y: r.Location.Y},
 		Score:    r.Score,
 		Stats:    statsJSON{Reads: r.Stats.Reads, Writes: r.Stats.Writes, Total: r.Stats.Total()},
 	}
+	for _, s := range r.ShardStats {
+		out.Shards = append(out.Shards, shardStatJSON{
+			Objects: s.Objects,
+			Stats:   statsJSON{Reads: s.Stats.Reads, Writes: s.Stats.Writes, Total: s.Stats.Total()},
+		})
+	}
+	return out
 }
 
 // acquire claims a worker slot, honoring client disconnects while queued.

@@ -255,3 +255,100 @@ func TestConcurrentClients(t *testing.T) {
 		t.Fatalf("BlocksInUse = %d, want only the dataset's %d", n, srv.datasets["demo"].ds.Blocks())
 	}
 }
+
+// TestShardedDataset: ?shards=K shards the dataset's queries, the
+// response carries the per-shard breakdown, scores match the unsharded
+// answer, and bad shard counts are rejected.
+func TestShardedDataset(t *testing.T) {
+	_, ts := newTestServer(t)
+	putDataset(t, ts, "plain", testCSV)
+
+	resp, body := do(t, http.MethodPut, ts.URL+"/datasets/sharded?shards=2", testCSV)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("put sharded dataset: status %d, body %s", resp.StatusCode, body)
+	}
+	var info datasetInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Shards != 2 {
+		t.Fatalf("dataset info shards = %d, want 2", info.Shards)
+	}
+
+	code, want := query(t, ts, `{"dataset":"plain","op":"maxrs","w":4,"h":4}`)
+	if code != http.StatusOK {
+		t.Fatalf("unsharded query status %d", code)
+	}
+	if len(want.Results[0].Shards) != 0 {
+		t.Fatalf("unsharded query reported shards: %+v", want.Results[0].Shards)
+	}
+	code, got := query(t, ts, `{"dataset":"sharded","op":"maxrs","w":4,"h":4}`)
+	if code != http.StatusOK {
+		t.Fatalf("sharded query status %d", code)
+	}
+	if got.Results[0].Score != want.Results[0].Score {
+		t.Fatalf("sharded score %g != unsharded %g", got.Results[0].Score, want.Results[0].Score)
+	}
+	shards := got.Results[0].Shards
+	if len(shards) == 0 || len(shards) > 2 {
+		t.Fatalf("shard breakdown = %+v, want 1..2 entries", shards)
+	}
+	var sum uint64
+	for _, s := range shards {
+		sum += s.Stats.Total
+	}
+	if sum == 0 || sum > got.Results[0].Stats.Total {
+		t.Fatalf("shard totals %d inconsistent with query total %d", sum, got.Results[0].Stats.Total)
+	}
+
+	// The shard count is part of the dataset listing.
+	resp, body = do(t, http.MethodGet, ts.URL+"/datasets", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list datasets: %d", resp.StatusCode)
+	}
+	var infos []datasetInfo
+	if err := json.Unmarshal(body, &infos); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	for _, i := range infos {
+		byName[i.Name] = i.Shards
+	}
+	if byName["sharded"] != 2 || byName["plain"] != 0 {
+		t.Fatalf("listing shards = %v, want sharded:2 plain:0", byName)
+	}
+
+	if resp, _ := do(t, http.MethodPut, ts.URL+"/datasets/bad?shards=-1", testCSV); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("shards=-1 accepted: status %d", resp.StatusCode)
+	}
+	if resp, _ := do(t, http.MethodPut, ts.URL+"/datasets/bad?shards=x", testCSV); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("shards=x accepted: status %d", resp.StatusCode)
+	}
+}
+
+// TestDegenerateResultNotSilentEmpty: a query whose optimal region is
+// unbounded (here: best score 0, so the optimum extends to infinity)
+// produces a location JSON cannot represent. The server must answer
+// with an explicit error, never a silent empty 200.
+func TestDegenerateResultNotSilentEmpty(t *testing.T) {
+	_, ts := newTestServer(t)
+	putDataset(t, ts, "neg", "1,1,-5\n2,2,-3\n")
+	resp, body := do(t, http.MethodPost, ts.URL+"/query",
+		`{"dataset":"neg","op":"maxrs","w":4,"h":4}`)
+	if len(body) == 0 {
+		t.Fatalf("empty response body (status %d)", resp.StatusCode)
+	}
+	var env map[string]any
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("non-JSON response %q: %v", body, err)
+	}
+	if resp.StatusCode == http.StatusOK {
+		// If the engine produced a representable answer this is fine —
+		// but an OK must carry results, not an empty shell.
+		if _, ok := env["results"]; !ok {
+			t.Fatalf("200 without results: %s", body)
+		}
+	} else if _, ok := env["error"]; !ok {
+		t.Fatalf("status %d without error field: %s", resp.StatusCode, body)
+	}
+}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -25,8 +26,13 @@ import (
 )
 
 func main() {
+	scale := flag.Float64("scale", 1, "population scale factor (CI smoke runs use a tiny value)")
+	flag.Parse()
 	// One map unit = 1 meter; the city spans 100 km × 100 km.
 	residents := workload.SyntheticNE(42)
+	if *scale < 1 {
+		residents = workload.Sample(42, residents, int(float64(len(residents))**scale))
+	}
 	objs := make([]maxrs.Object, len(residents))
 	for i, r := range residents {
 		objs[i] = maxrs.Object{X: r.X / 10, Y: r.Y / 10, Weight: r.W} // 100 km extent

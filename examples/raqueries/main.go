@@ -9,6 +9,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -19,12 +20,17 @@ import (
 )
 
 func main() {
+	scale := flag.Float64("scale", 1, "dataset scale factor (CI smoke runs use a tiny value)")
+	flag.Parse()
 	const (
 		blockSize = 4096
 		memory    = 256 * 1024
 		query     = 1000.0 // 1k × 1k range, the paper's default
 	)
 	objs := workload.SyntheticNE(2012)
+	if *scale < 1 {
+		objs = workload.Sample(2012, objs, int(float64(len(objs))**scale))
+	}
 	fmt.Printf("NE stand-in: %d points in [0, 10^6]^2, %g x %g query\n\n",
 		len(objs), query, query)
 

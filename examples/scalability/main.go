@@ -8,17 +8,19 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
-	"text/tabwriter"
-
 	"os"
+	"text/tabwriter"
 
 	"maxrs"
 	"maxrs/internal/workload"
 )
 
 func main() {
+	scale := flag.Float64("scale", 1, "cardinality scale factor (CI smoke runs use a tiny value)")
+	flag.Parse()
 	const (
 		blockSize = 1024
 		memory    = 64 * 1024 // 64 KB budget: datasets below quickly outgrow it
@@ -32,7 +34,11 @@ func main() {
 	}
 	fmt.Fprintln(tw, "best score")
 
-	for _, n := range []int{5000, 10000, 20000, 40000} {
+	for _, base := range []int{5000, 10000, 20000, 40000} {
+		n := int(float64(base) * *scale)
+		if n < 200 {
+			n = 200
+		}
 		pts := workload.Uniform(99, n, float64(4*n))
 		objs := make([]maxrs.Object, len(pts))
 		for i, p := range pts {

@@ -47,12 +47,13 @@ func (e *Engine) TopK(d *Dataset, w, h float64, k int) (_ []Result, err error) {
 			_ = cur.Release()
 		}
 	}()
-	var prev QueryStats // scope snapshot at the start of the round
+	shards := e.shardsFor(d) // resolved once; every round solves alike
+	var prev QueryStats      // scope snapshot at the start of the round
 	for round := 0; round < k; round++ {
 		if cur.Size() == 0 {
 			break
 		}
-		res, err := e.solver.SolveObjectsScoped(cur, w, h, sc)
+		res, shardStats, err := e.solveObjects(cur, w, h, sc, shards)
 		if err != nil {
 			return nil, err
 		}
@@ -60,6 +61,7 @@ func (e *Engine) TopK(d *Dataset, w, h float64, k int) (_ []Result, err error) {
 			break // nothing left to cover
 		}
 		out := fromSweep(res)
+		out.ShardStats = shardStats
 		if round < k-1 {
 			// The final round's filtrate would never be solved — skip the
 			// pass instead of paying its scan + rewrite.
@@ -152,9 +154,10 @@ func transformObjects(env em.Env, in *em.File, fn func(o rec.Object, emit func(r
 // runs ExactMaxRS, so a location whose rectangle covers nothing is a valid
 // (score 0) answer when one exists; with negative-weight objects present
 // the optimum may be strictly below zero. Safe to call concurrently with
-// other queries.
+// other queries. MinRS never shards: the negation produces negative
+// weights, for which the shard merge is not exact (DESIGN.md §9.3).
 func (e *Engine) MinRS(d *Dataset, w, h float64) (Result, error) {
-	res, err := e.solveMapped(d, w, h, func(o rec.Object) rec.Object {
+	res, err := e.solveMapped(d, w, h, 0, func(o rec.Object) rec.Object {
 		o.W = -o.W
 		return o
 	})
@@ -167,17 +170,20 @@ func (e *Engine) MinRS(d *Dataset, w, h float64) (Result, error) {
 
 // CountRS solves MaxRS under the COUNT aggregate (§2): every object
 // contributes 1 regardless of its weight. Safe to call concurrently with
-// other queries.
+// other queries. The mapped weights are all 1, so CountRS shards even on
+// datasets whose own weights would force MaxRS to fall back.
 func (e *Engine) CountRS(d *Dataset, w, h float64) (Result, error) {
-	return e.solveMapped(d, w, h, func(o rec.Object) rec.Object {
+	return e.solveMapped(d, w, h, e.requestedShards(d), func(o rec.Object) rec.Object {
 		o.W = 1
 		return o
 	})
 }
 
-// solveMapped runs ExactMaxRS on a weight-transformed copy of the dataset,
-// releasing the intermediate file on every path (including solve errors).
-func (e *Engine) solveMapped(d *Dataset, w, h float64, f func(rec.Object) rec.Object) (_ Result, err error) {
+// solveMapped runs ExactMaxRS on a weight-transformed copy of the dataset
+// with the given shard count (0 = unsharded; the caller decides, because
+// shardability depends on the sign of the *mapped* weights), releasing
+// the intermediate file on every path (including solve errors).
+func (e *Engine) solveMapped(d *Dataset, w, h float64, shards int, f func(rec.Object) rec.Object) (_ Result, err error) {
 	if err := checkQuery(w, h); err != nil {
 		return Result{}, err
 	}
@@ -195,11 +201,12 @@ func (e *Engine) solveMapped(d *Dataset, w, h float64, f func(rec.Object) rec.Ob
 			err = rerr
 		}
 	}()
-	res, err := e.solver.SolveObjectsScoped(mapped, w, h, sc)
+	res, shardStats, err := e.solveObjects(mapped, w, h, sc, shards)
 	if err != nil {
 		return Result{}, err
 	}
 	out := fromSweep(res)
 	out.Stats = queryStatsOf(sc)
+	out.ShardStats = shardStats
 	return out, nil
 }

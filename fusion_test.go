@@ -90,7 +90,7 @@ func TestEnginePipelineInvariance(t *testing.T) {
 	} {
 		opts.OnDiskDir = t.TempDir()
 		got := run(opts)
-		if got != base {
+		if !sameResult(got, base) {
 			t.Errorf("%s: result %+v (stats %+v) != PipelineOff baseline %+v (stats %+v)",
 				name, got, got.Stats, base, base.Stats)
 		}

@@ -26,6 +26,18 @@ func (s *ScopeStats) addWrite() {
 	}
 }
 
+// Add charges a batch of transfers performed outside the scope's own
+// streams — e.g. a sharded query's traffic on its ephemeral per-shard
+// disks — so the scope stays the complete per-query tally. Safe for
+// concurrent use; a nil receiver charges nothing.
+func (s *ScopeStats) Add(st Stats) {
+	if s == nil {
+		return
+	}
+	s.reads.Add(st.Reads)
+	s.writes.Add(st.Writes)
+}
+
 // Stats returns the transfers charged to the scope so far.
 func (s *ScopeStats) Stats() Stats {
 	if s == nil {

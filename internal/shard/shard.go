@@ -1,0 +1,386 @@
+// Package shard partitions a MaxRS instance into K vertical shards that
+// are solved as independent ExactMaxRS sub-problems, each on its own
+// em.Disk, and merged by candidate comparison — the paper's slab division
+// (§5.2) lifted one level up, from recursion steps inside one solver to a
+// planner above whole solver instances.
+//
+// # Why the merge is exact
+//
+// Shard i owns the center slab [b_i, b_{i+1}) (b_0 = −∞, b_K = +∞) and
+// receives every object whose x lies in [b_i − a/2, b_{i+1} + a/2], where
+// a is the query width: the halo. A query rectangle centered inside shard
+// i's slab covers only objects inside the halo-extended slab (an object is
+// covered iff its x is within a/2 of the center's x), so for every center
+// in the slab the shard-local coverage equals the true coverage — shard
+// i's unrestricted optimum is ≥ the best true score attainable in its
+// slab. Conversely a shard's points are a subset of all points, so its
+// local score anywhere is ≤ the true score there ≤ the global optimum —
+// this direction needs every weight ≥ 0 (a missing negative-weight
+// object would *raise* a local score), which is why the router rejects
+// negative weights with ErrNegativeWeight. The slabs partition the
+// center space, hence
+//
+//	max_i ShardOpt_i = global optimum,
+//
+// and every center the winning shard reports attains the global optimum
+// in the full dataset too (its local score equals the global optimum and
+// is a lower bound on its true score, which cannot exceed the optimum).
+// This mirrors the slab-file argument behind Theorem 2: correctness needs
+// only that each sub-problem sees every rectangle that can intersect its
+// slab, and duplication across shards is harmless because no single
+// shard's sweep ever counts an object twice.
+//
+// # Cost
+//
+// Planning and routing are two linear scans of the object file charged to
+// the caller's environment; each shard additionally pays the writes of
+// its halo-extended partition and a full ExactMaxRS on |shard| objects.
+// All counts are deterministic for a fixed dataset, query, and shard
+// count — independent of worker scheduling — so sharded queries keep the
+// repo's counts-are-reproducible contract (DESIGN.md §9).
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"maxrs/internal/conc"
+	"maxrs/internal/core"
+	"maxrs/internal/em"
+	"maxrs/internal/geom"
+	"maxrs/internal/rec"
+	"maxrs/internal/sweep"
+)
+
+// ErrNegativeWeight rejects datasets the shard merge cannot handle
+// exactly: with a negative weight present, a shard's unrestricted
+// optimum can land outside its slab where objects beyond the halo —
+// invisible to the shard — would lower the true score, breaking the "no
+// shard overcounts" invariant (see the package comment). Callers must
+// route such datasets to an unsharded solver.
+var ErrNegativeWeight = errors.New("shard: negative weights cannot be sharded exactly")
+
+// maxPlanSample bounds the x-coordinate sample the planner sorts in
+// memory (32 Ki values = 256 KB). Boundaries only steer balance — any
+// strictly increasing boundary set is exact — so a bounded deterministic
+// stride sample is enough even when the dataset itself is disk-resident.
+const maxPlanSample = 1 << 15
+
+// objectBatch sizes the record batches of the planner's and router's
+// scan loops, amortizing the per-record reader round-trip.
+const objectBatch = 256
+
+// Config parameterizes one sharded solve.
+type Config struct {
+	// Shards is the requested shard count K (≥ 1). The effective count
+	// can be lower when the data has fewer distinct x-coordinates than
+	// requested — boundaries are deduplicated, never degenerate.
+	Shards int
+
+	// Workers bounds how many shards are solved concurrently (0 = all of
+	// them at once). Worker scheduling never changes results or counted
+	// transfers; it trades wall-clock only.
+	Workers int
+
+	// Core configures the per-shard ExactMaxRS solver. Leave
+	// Core.Parallelism zero to have the worker budget split evenly
+	// across the *effective* shard count (which the planner may have
+	// deduplicated below Shards): shard-level fan-out then replaces
+	// slab-level fan-out, so a sharded solve never runs more workers
+	// than Workers. A non-zero value is taken as an explicit per-shard
+	// setting.
+	Core core.Config
+
+	// NewDisk allocates one shard's private disk. nil defaults to an
+	// in-memory disk with the caller's block size. Every disk obtained
+	// through NewDisk is closed before SolveObjects returns, on success
+	// and on error alike. Each shard solver runs under the caller
+	// environment's full memory budget M: sharding scales out aggregate
+	// memory and disk, K budgets instead of one.
+	NewDisk func() (*em.Disk, error)
+}
+
+// Info describes one shard of a completed solve.
+type Info struct {
+	// Slab is the half-open center interval [Lo, Hi) the shard owns.
+	Slab geom.Interval
+	// Objects is the number of objects routed to the shard, halo copies
+	// included.
+	Objects int64
+	// Stats is the I/O charged to the shard's private disk: its
+	// partition writes plus its full ExactMaxRS solve.
+	Stats em.Stats
+}
+
+// Result is a sharded solve: the merged answer plus the per-shard
+// breakdown.
+type Result struct {
+	// Res is the merged (globally optimal) sweep result.
+	Res sweep.Result
+	// Winner is the index into Shards of the shard whose candidate won.
+	Winner int
+	// Shards describes the effective shards in slab order.
+	Shards []Info
+}
+
+// Stats sums the per-shard I/O (the traffic on the private disks; the
+// caller's scope separately carries the planner's and router's scans of
+// the object file).
+func (r Result) Stats() em.Stats {
+	var total em.Stats
+	for _, s := range r.Shards {
+		total.Reads += s.Stats.Reads
+		total.Writes += s.Stats.Writes
+	}
+	return total
+}
+
+// SolveObjects answers MaxRS for the objects in objFile with a w×h query
+// rectangle by sharding the dataset into cfg.Shards halo-extended
+// vertical shards, solving each independently, and merging. Reads of
+// objFile are charged to env (and its scope, if any); each shard's
+// partition writes and solve are charged to its own disk and reported in
+// Result.Shards. The object file is not modified.
+func SolveObjects(env em.Env, objFile *em.File, w, h float64, cfg Config) (Result, error) {
+	if err := env.Validate(); err != nil {
+		return Result{}, err
+	}
+	if w <= 0 || h <= 0 {
+		return Result{}, fmt.Errorf("shard: query size %gx%g must be positive", w, h)
+	}
+	if cfg.Shards < 1 {
+		return Result{}, fmt.Errorf("shard: shard count %d must be ≥ 1", cfg.Shards)
+	}
+	bounds, err := planBounds(env, objFile, cfg.Shards)
+	if err != nil {
+		return Result{}, err
+	}
+	shards, err := partition(env, objFile, bounds, w/2, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	// Shard disks are ephemeral: whatever happens below, close them all.
+	defer func() {
+		for _, sh := range shards {
+			_ = sh.env.Disk.Close()
+		}
+	}()
+	results := make([]sweep.Result, len(shards))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = len(shards)
+	}
+	coreCfg := cfg.Core
+	if coreCfg.Parallelism == 0 && cfg.Workers > 0 {
+		// Split the worker budget over the effective shard count, not
+		// the requested one — a deduplicated plan must not idle workers.
+		coreCfg.Parallelism = workers / len(shards)
+		if coreCfg.Parallelism < 1 {
+			coreCfg.Parallelism = 1
+		}
+	}
+	err = conc.ForEachIndexed(len(shards), workers, func(i int) error {
+		return shards[i].solve(w, h, coreCfg, &results[i])
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{Shards: make([]Info, len(shards))}
+	for i, sh := range shards {
+		out.Shards[i] = Info{Slab: sh.slab, Objects: sh.count, Stats: sh.env.Disk.Stats()}
+	}
+	out.Winner = merge(results)
+	out.Res = results[out.Winner]
+	return out, nil
+}
+
+// merge picks the winning candidate: the highest score, lowest shard
+// index on ties, so the merged answer is deterministic.
+func merge(results []sweep.Result) int {
+	best := 0
+	for i := 1; i < len(results); i++ {
+		if results[i].Sum > results[best].Sum {
+			best = i
+		}
+	}
+	return best
+}
+
+// shard is one partition during a solve.
+type shard struct {
+	env   em.Env
+	file  *em.File
+	slab  geom.Interval
+	count int64
+}
+
+// solve runs the shard's private ExactMaxRS and releases the partition
+// file on every path. Transfers land on the shard's own disk; per-shard
+// scoping is unnecessary because nothing else runs there.
+func (sh *shard) solve(w, h float64, cfg core.Config, out *sweep.Result) error {
+	defer sh.file.Release()
+	solver, err := core.NewSolver(sh.env, cfg)
+	if err != nil {
+		return err
+	}
+	res, err := solver.SolveObjects(sh.file, w, h)
+	if err != nil {
+		return fmt.Errorf("shard %v: %w", sh.slab, err)
+	}
+	if err := sh.file.Release(); err != nil {
+		return err
+	}
+	*out = res
+	return nil
+}
+
+// planBounds scans objFile once and returns up to k−1 strictly increasing
+// interior slab boundaries — x-quantiles of a deterministic stride sample,
+// so repeated plans of the same file agree bit-for-bit. Fewer boundaries
+// than requested (down to none) come back when the data has too few
+// distinct x-coordinates; the effective shard count shrinks accordingly.
+func planBounds(env em.Env, objFile *em.File, k int) ([]float64, error) {
+	if k < 2 {
+		return nil, nil
+	}
+	n := em.RecordCount(objFile, rec.ObjectCodec{}.Size())
+	if n == 0 {
+		return nil, nil
+	}
+	stride := (n + maxPlanSample - 1) / maxPlanSample
+	if stride < 1 {
+		stride = 1
+	}
+	rr, err := em.NewRecordReaderScoped(objFile, rec.ObjectCodec{}, env.Scope)
+	if err != nil {
+		return nil, err
+	}
+	sample := make([]float64, 0, (n+stride-1)/stride)
+	batch := make([]rec.Object, objectBatch)
+	var idx int64
+	for {
+		got, err := rr.ReadBatch(batch)
+		for _, o := range batch[:got] {
+			if idx%stride == 0 {
+				sample = append(sample, o.X)
+			}
+			idx++
+		}
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, err
+		}
+	}
+	sort.Float64s(sample)
+	bounds := make([]float64, 0, k-1)
+	for i := 1; i < k; i++ {
+		q := sample[i*len(sample)/k]
+		// Strictly increasing, and strictly above the minimum x: a
+		// boundary at the minimum would leave shard 0 owning no points
+		// (an all-halo shard can tie the optimum but never beat it).
+		if q > sample[0] && (len(bounds) == 0 || q > bounds[len(bounds)-1]) {
+			bounds = append(bounds, q)
+		}
+	}
+	return bounds, nil
+}
+
+// partition scans objFile once and routes every object into each shard
+// whose halo-extended slab contains it: shard i receives the objects with
+// x ∈ [b_i − halfWidth, b_{i+1} + halfWidth] (closed on both ends — one
+// float of slack beyond the half-open need never hurts correctness, only
+// duplicates a boundary object once more). On error every already-created
+// shard disk is closed and nothing stays allocated.
+func partition(env em.Env, objFile *em.File, bounds []float64, halfWidth float64, cfg Config) (_ []*shard, err error) {
+	k := len(bounds) + 1
+	newDisk := cfg.NewDisk
+	if newDisk == nil {
+		blockSize := env.B()
+		newDisk = func() (*em.Disk, error) { return em.NewDisk(blockSize) }
+	}
+	shards := make([]*shard, 0, k)
+	defer func() {
+		if err != nil {
+			for _, sh := range shards {
+				_ = sh.env.Disk.Close()
+			}
+		}
+	}()
+	writers := make([]*em.RecordWriter[rec.Object], k)
+	for i := 0; i < k; i++ {
+		disk, err := newDisk()
+		if err != nil {
+			return nil, err
+		}
+		shEnv := em.Env{Disk: disk, M: env.M}
+		sh := &shard{env: shEnv, file: shEnv.NewFile(), slab: slabOf(bounds, i)}
+		shards = append(shards, sh) // before Validate: the defer owns the disk now
+		if err := shEnv.Validate(); err != nil {
+			return nil, err
+		}
+		writers[i], err = em.NewRecordWriter(sh.file, rec.ObjectCodec{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	rr, err := em.NewRecordReaderScoped(objFile, rec.ObjectCodec{}, env.Scope)
+	if err != nil {
+		return nil, err
+	}
+	batch := make([]rec.Object, objectBatch)
+	for {
+		got, rerr := rr.ReadBatch(batch)
+		for _, o := range batch[:got] {
+			if o.W < 0 {
+				return nil, fmt.Errorf("%w: object at (%g, %g) has weight %g", ErrNegativeWeight, o.X, o.Y, o.W)
+			}
+			lo, hi := route(bounds, o.X, halfWidth)
+			for i := lo; i <= hi; i++ {
+				if err := writers[i].Write(o); err != nil {
+					return nil, err
+				}
+				shards[i].count++
+			}
+		}
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				break
+			}
+			return nil, rerr
+		}
+	}
+	for _, w := range writers {
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return shards, nil
+}
+
+// slabOf returns shard i's center slab for the given interior boundaries.
+func slabOf(bounds []float64, i int) geom.Interval {
+	slab := geom.Interval{Lo: math.Inf(-1), Hi: math.Inf(1)}
+	if i > 0 {
+		slab.Lo = bounds[i-1]
+	}
+	if i < len(bounds) {
+		slab.Hi = bounds[i]
+	}
+	return slab
+}
+
+// route returns the inclusive range [lo, hi] of shard indices whose
+// halo-extended slab contains x. The range is contiguous and never empty;
+// when the halo is wider than a slab it spans several shards.
+func route(bounds []float64, x, halfWidth float64) (lo, hi int) {
+	// Shard i is needed iff b_i ≤ x + halfWidth (lower bound exists for
+	// i ≥ 1) and b_{i+1} ≥ x − halfWidth (upper bound exists for i < K−1).
+	lo = sort.SearchFloat64s(bounds, x-halfWidth) // first b_{i+1} ≥ x − a/2
+	hi = sort.Search(len(bounds), func(j int) bool { return bounds[j] > x+halfWidth })
+	return lo, hi
+}

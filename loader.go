@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -40,6 +41,7 @@ func (e *Engine) LoadCSV(r io.Reader) (_ *Dataset, err error) {
 	sc.Buffer(make([]byte, 64<<10), maxCSVLine)
 	n := 0
 	lineNo := 0
+	minW := math.Inf(1)
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -53,6 +55,7 @@ func (e *Engine) LoadCSV(r io.Reader) (_ *Dataset, err error) {
 		if err := w.Write(o); err != nil {
 			return nil, err
 		}
+		minW = math.Min(minW, o.W)
 		n++
 	}
 	if err := sc.Err(); err != nil {
@@ -66,7 +69,7 @@ func (e *Engine) LoadCSV(r io.Reader) (_ *Dataset, err error) {
 	if err := w.Close(); err != nil {
 		return nil, err
 	}
-	return &Dataset{file: f, n: n}, nil
+	return &Dataset{file: f, n: n, minW: minW}, nil
 }
 
 func parseObjectLine(line string) (rec.Object, error) {

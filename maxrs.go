@@ -36,13 +36,16 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"maxrs/internal/baseline"
 	"maxrs/internal/core"
 	"maxrs/internal/em"
 	"maxrs/internal/geom"
 	"maxrs/internal/rec"
+	"maxrs/internal/shard"
 	"maxrs/internal/sweep"
 )
 
@@ -76,9 +79,29 @@ type Result struct {
 	// Score is the total covered weight at Location.
 	Score float64
 	// Region is the full set of optimal center positions (for MaxRS).
-	// Every point of Region attains Score.
+	// Every point of Region attains Score. For sharded queries
+	// (Options.Shards) it is the winning shard's optimal region: every
+	// point of it still attains Score on the full dataset, but equally
+	// good centers in other shards are not enumerated.
 	Region Rect
 	// Stats is the I/O cost of this query alone (see QueryStats).
+	Stats QueryStats
+	// ShardStats breaks Stats down per shard for sharded queries
+	// (Options.Shards / Dataset.SetShards): entry i is shard i's routed
+	// object count and the transfers of its private partition + solve.
+	// Stats additionally includes the planner's and router's scans of
+	// the dataset, so Stats ≥ the sum of ShardStats. Nil for unsharded
+	// queries.
+	ShardStats []ShardStat
+}
+
+// ShardStat is one shard's contribution to a sharded query (DESIGN.md §9).
+type ShardStat struct {
+	// Objects is the number of objects routed to the shard, halo
+	// duplicates included.
+	Objects int64
+	// Stats is the I/O on the shard's private disk: partition writes
+	// plus its independent ExactMaxRS solve.
 	Stats QueryStats
 }
 
@@ -87,7 +110,9 @@ type Result struct {
 // scoped per call, so concurrent queries on one Engine each report their
 // own meaningful cost, while Engine.Stats keeps the disk-global total. For
 // a fixed dataset and query the counts are deterministic — independent of
-// Options.Parallelism and of other queries in flight.
+// Options.Parallelism and of other queries in flight. Sharded queries
+// (Options.Shards) include their per-shard disk traffic; the counts then
+// additionally depend on the shard count, but on nothing else.
 type QueryStats struct {
 	Reads, Writes uint64
 }
@@ -176,6 +201,27 @@ type Options struct {
 	// and regression comparison: results are bit-identical, the fused
 	// default just transfers fewer blocks.
 	Unfused bool
+	// Shards splits object queries (MaxRS, CountRS, TopK — not MaxCRS,
+	// whose rectangle transform stays unsharded) into K vertical shards
+	// with halo duplication, solved as independent ExactMaxRS instances
+	// on their own private disks and merged exactly (DESIGN.md §9).
+	// Each shard disk mirrors the engine's backend (in-memory or a temp
+	// file under OnDiskDir) and gets the full Memory budget, so sharding
+	// scales aggregate memory and disk K-fold — the lever for datasets
+	// that outgrow a single disk's block budget. 0 (the default) leaves
+	// queries unsharded; 1 forces the degenerate single-shard path (the
+	// shard machinery with one shard — useful for testing); K ≥ 2 shards
+	// K ways. Scores are exact for every value, and per-query transfer
+	// counts are deterministic for a fixed dataset, query, and K.
+	// Dataset.SetShards overrides the count per dataset.
+	//
+	// The shard merge is exact only for nonnegative weights (DESIGN.md
+	// §9.3), so two cases always run unsharded regardless of this
+	// setting: queries on datasets holding a negative weight, and MinRS
+	// (whose solve negates every weight). Non-ExactMaxRS Algorithms also
+	// ignore it for MaxRS (CountRS and TopK always solve with
+	// ExactMaxRS).
+	Shards int
 }
 
 // PipelineMode selects the stream prefetch / write-behind behavior of an
@@ -236,11 +282,21 @@ type Engine struct {
 	opts   Options
 	env    em.Env
 	solver *core.Solver
+	par    int // resolved Options.Parallelism (≥ 1)
+
+	// shardReads/shardWrites accumulate the traffic of sharded queries'
+	// ephemeral per-shard disks, so Engine.Stats stays the engine-global
+	// total even though that traffic never touches the primary disk.
+	shardReads  atomic.Uint64
+	shardWrites atomic.Uint64
 }
 
 // NewEngine validates opts and returns an Engine.
 func NewEngine(opts *Options) (*Engine, error) {
 	o := opts.withDefaults()
+	if o.Shards < 0 {
+		return nil, fmt.Errorf("maxrs: shard count %d must be ≥ 0", o.Shards)
+	}
 	var (
 		env em.Env
 		err error
@@ -277,7 +333,11 @@ func NewEngine(opts *Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{opts: o, env: env, solver: solver}, nil
+	par := o.Parallelism
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{opts: o, env: env, solver: solver, par: par}, nil
 }
 
 // Close releases the engine's storage (removes the backing file of an
@@ -294,10 +354,16 @@ func (e *Engine) Close() error { return e.env.Disk.Close() }
 type Dataset struct {
 	file *em.File
 	n    int
+	// minW is the smallest weight in the dataset (+Inf when empty),
+	// recorded at load time: the shard merge's exactness argument needs
+	// nonnegative weights (DESIGN.md §9.3), so queries on a dataset with
+	// any negative weight silently fall back to the unsharded path.
+	minW float64
 
 	mu       sync.Mutex
 	refs     int  // in-flight queries holding the dataset open
 	released bool // Release called; free blocks when refs drains to 0
+	shards   int  // per-dataset shard-count override (0 = engine default)
 }
 
 // ErrDatasetReleased is returned by queries on a released Dataset.
@@ -305,6 +371,28 @@ var ErrDatasetReleased = errors.New("maxrs: dataset released")
 
 // Len returns the number of objects in the dataset.
 func (d *Dataset) Len() int { return d.n }
+
+// SetShards overrides the engine's Options.Shards for queries on this
+// dataset: 0 restores the engine default, 1 forces the degenerate
+// single-shard path, K ≥ 2 shards the dataset K ways (DESIGN.md §9).
+// Safe to call concurrently with queries; a query in flight keeps the
+// count it started with.
+func (d *Dataset) SetShards(k int) error {
+	if k < 0 {
+		return fmt.Errorf("%w: shard count %d must be ≥ 0", ErrInvalidQuery, k)
+	}
+	d.mu.Lock()
+	d.shards = k
+	d.mu.Unlock()
+	return nil
+}
+
+// Shards returns the dataset's shard-count override (0 = engine default).
+func (d *Dataset) Shards() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.shards
+}
 
 // Blocks returns the number of disk blocks the dataset occupies.
 func (d *Dataset) Blocks() int { return d.file.Blocks() }
@@ -375,6 +463,7 @@ func (e *Engine) Load(objs []Object) (_ *Dataset, err error) {
 	if err != nil {
 		return nil, err
 	}
+	minW := math.Inf(1)
 	for _, o := range objs {
 		if err := checkObject(o.X, o.Y, o.Weight); err != nil {
 			return nil, fmt.Errorf("maxrs: object %+v: %w", o, err)
@@ -382,11 +471,12 @@ func (e *Engine) Load(objs []Object) (_ *Dataset, err error) {
 		if err := w.Write(rec.Object{X: o.X, Y: o.Y, W: o.Weight}); err != nil {
 			return nil, err
 		}
+		minW = math.Min(minW, o.Weight)
 	}
 	if err := w.Close(); err != nil {
 		return nil, err
 	}
-	return &Dataset{file: f, n: len(objs)}, nil
+	return &Dataset{file: f, n: len(objs), minW: minW}, nil
 }
 
 // checkObject rejects NaN and ±Inf coordinates/weights — infinities
@@ -405,16 +495,26 @@ func checkObject(x, y, w float64) error {
 }
 
 // Stats returns the engine's accumulated block-transfer counts across all
-// loads and queries (the disk-global total). For the cost of a single
-// query under concurrency, use the Stats field of its Result instead.
+// loads and queries — the primary disk's total plus the traffic of
+// sharded queries' ephemeral per-shard disks, so the engine-global tally
+// covers everything the engine transferred anywhere. For the cost of a
+// single query under concurrency, use the Stats field of its Result
+// instead.
 func (e *Engine) Stats() IOStats {
 	s := e.env.Disk.Stats()
-	return IOStats{Reads: s.Reads, Writes: s.Writes}
+	return IOStats{
+		Reads:  s.Reads + e.shardReads.Load(),
+		Writes: s.Writes + e.shardWrites.Load(),
+	}
 }
 
-// ResetStats zeroes the disk-global transfer counters. Per-query Result
-// stats are unaffected.
-func (e *Engine) ResetStats() { e.env.Disk.ResetStats() }
+// ResetStats zeroes the engine-global transfer counters (primary disk and
+// accumulated shard traffic). Per-query Result stats are unaffected.
+func (e *Engine) ResetStats() {
+	e.env.Disk.ResetStats()
+	e.shardReads.Store(0)
+	e.shardWrites.Store(0)
+}
 
 // BlocksInUse returns the number of live (allocated, unfreed) blocks on
 // the engine's disk. After every dataset is released and every query has
@@ -434,25 +534,27 @@ func (e *Engine) MaxRS(d *Dataset, w, h float64) (_ Result, err error) {
 	}
 	defer d.endQuery(&err)
 	sc := new(em.ScopeStats)
-	res, err := e.maxRS(d, w, h, sc)
+	res, shards, err := e.maxRS(d, w, h, sc)
 	if err != nil {
 		return Result{}, err
 	}
 	out := fromSweep(res)
 	out.Stats = queryStatsOf(sc)
+	out.ShardStats = shards
 	return out, nil
 }
 
 // maxRS dispatches one already-acquired MaxRS solve, charging transfers
-// to sc.
-func (e *Engine) maxRS(d *Dataset, w, h float64, sc *em.ScopeStats) (sweep.Result, error) {
+// to sc. Only the ExactMaxRS algorithm honors sharding; the per-shard
+// breakdown (nil when unsharded) rides back alongside the result.
+func (e *Engine) maxRS(d *Dataset, w, h float64, sc *em.ScopeStats) (sweep.Result, []ShardStat, error) {
 	var (
 		res sweep.Result
 		err error
 	)
 	switch e.opts.Algorithm {
 	case ExactMaxRS:
-		res, err = e.solver.SolveObjectsScoped(d.file, w, h, sc)
+		return e.solveObjects(d.file, w, h, sc, e.shardsFor(d))
 	case NaiveSweep:
 		res, err = baseline.NaiveSweep(e.env.WithScope(sc), d.file, w, h)
 	case ASBTree:
@@ -466,7 +568,88 @@ func (e *Engine) maxRS(d *Dataset, w, h float64, sc *em.ScopeStats) (sweep.Resul
 	default:
 		err = fmt.Errorf("maxrs: unknown algorithm %v", e.opts.Algorithm)
 	}
-	return res, err
+	return res, nil, err
+}
+
+// shardsFor resolves the shard count for a query on d: the dataset's
+// override when set, the engine's Options.Shards otherwise. Datasets
+// holding any negative weight always resolve to 0 (unsharded): a shard's
+// unrestricted optimum can land outside its slab, where missing
+// negative-weight objects beyond the halo would inflate its local score
+// — the merge is only exact for nonnegative weights (DESIGN.md §9.3).
+func (e *Engine) shardsFor(d *Dataset) int {
+	if d.minW < 0 {
+		return 0
+	}
+	return e.requestedShards(d)
+}
+
+// requestedShards is the resolution step alone — dataset override, then
+// engine default — without the weight-sign guard, for callers that solve
+// a weight-mapped copy whose shardability does not depend on d's own
+// weights (CountRS).
+func (e *Engine) requestedShards(d *Dataset) int {
+	if k := d.Shards(); k > 0 {
+		return k
+	}
+	return e.opts.Shards
+}
+
+// solveObjects runs one ExactMaxRS object solve, sharded K ways when
+// k ≥ 1 (0 = the plain single-solver path). All transfers — the primary
+// disk's and, for sharded solves, the ephemeral shard disks' — are
+// charged to sc and to the engine-global totals, keeping both accounting
+// contracts intact (DESIGN.md §7.2, §9).
+func (e *Engine) solveObjects(f *em.File, w, h float64, sc *em.ScopeStats, k int) (sweep.Result, []ShardStat, error) {
+	if k < 1 {
+		res, err := e.solver.SolveObjectsScoped(f, w, h, sc)
+		return res, nil, err
+	}
+	// Shard-level fan-out replaces slab-level fan-out as the outer
+	// parallelism: the shard pool is bounded by the engine's resolved
+	// Parallelism, and the shard layer splits that budget evenly over
+	// the effective shard count (Core.Parallelism left zero), so a
+	// sharded query never runs more workers than an unsharded one.
+	r, err := shard.SolveObjects(e.env.WithScope(sc), f, w, h, shard.Config{
+		Shards:  k,
+		Workers: e.par,
+		Core:    core.Config{Fanout: e.opts.Fanout, Unfused: e.opts.Unfused},
+		NewDisk: e.newShardDisk,
+	})
+	if err != nil {
+		return sweep.Result{}, nil, err
+	}
+	stats := make([]ShardStat, len(r.Shards))
+	for i, si := range r.Shards {
+		stats[i] = ShardStat{
+			Objects: si.Objects,
+			Stats:   QueryStats{Reads: si.Stats.Reads, Writes: si.Stats.Writes},
+		}
+	}
+	ext := r.Stats()
+	sc.Add(ext)
+	e.shardReads.Add(ext.Reads)
+	e.shardWrites.Add(ext.Writes)
+	return r.Res, stats, nil
+}
+
+// newShardDisk allocates one shard's private disk, mirroring the
+// engine's backend and pipelining choices.
+func (e *Engine) newShardDisk() (*em.Disk, error) {
+	var (
+		d   *em.Disk
+		err error
+	)
+	if e.opts.OnDisk {
+		d, err = em.NewFileBackedDisk(e.opts.OnDiskDir, e.opts.BlockSize)
+	} else {
+		d, err = em.NewDisk(e.opts.BlockSize)
+	}
+	if err != nil {
+		return nil, err
+	}
+	d.SetPipelining(e.env.Disk.Pipelined())
+	return d, nil
 }
 
 // ErrInvalidQuery is wrapped by every query-parameter validation failure
