@@ -10,6 +10,7 @@ package maxrs
 // cmd/maxrsbench regenerates the figures at any scale up to the paper's.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -122,7 +123,7 @@ func benchAlgo(b *testing.B, algo Algorithm) {
 			b.Fatal(err)
 		}
 		e.ResetStats()
-		if _, err := e.MaxRS(d, queryEdge, queryEdge); err != nil {
+		if _, err := e.MaxRS(context.Background(), d, queryEdge, queryEdge); err != nil {
 			b.Fatal(err)
 		}
 		io = e.Stats().Total()
@@ -167,7 +168,7 @@ func BenchmarkParallelExactMaxRS(b *testing.B) {
 					b.Fatal(err)
 				}
 				e.ResetStats()
-				if _, err := e.MaxRS(d, queryEdge, queryEdge); err != nil {
+				if _, err := e.MaxRS(context.Background(), d, queryEdge, queryEdge); err != nil {
 					b.Fatal(err)
 				}
 				io = e.Stats().Total()
@@ -213,7 +214,7 @@ func BenchmarkFusionExactMaxRS(b *testing.B) {
 					b.Fatal(err)
 				}
 				e.ResetStats()
-				if _, err := e.MaxRS(d, queryEdge, queryEdge); err != nil {
+				if _, err := e.MaxRS(context.Background(), d, queryEdge, queryEdge); err != nil {
 					b.Fatal(err)
 				}
 				io = e.Stats().Total()
@@ -264,7 +265,7 @@ func BenchmarkPipelinedDisk(b *testing.B) {
 					b.Fatal(err)
 				}
 				e.ResetStats()
-				if _, err := e.MaxRS(d, queryEdge, queryEdge); err != nil {
+				if _, err := e.MaxRS(context.Background(), d, queryEdge, queryEdge); err != nil {
 					b.Fatal(err)
 				}
 				io = e.Stats().Total()

@@ -1,0 +1,250 @@
+package maxrs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync/atomic"
+	"testing"
+)
+
+// cancelKinds enumerates the five query kinds for the cancellation matrix.
+var cancelKinds = []struct {
+	name string
+	run  func(ctx context.Context, e *Engine, d *Dataset) error
+}{
+	{"MaxRS", func(ctx context.Context, e *Engine, d *Dataset) error {
+		_, err := e.MaxRS(ctx, d, 200, 200)
+		return err
+	}},
+	{"MaxCRS", func(ctx context.Context, e *Engine, d *Dataset) error {
+		_, err := e.MaxCRS(ctx, d, 200)
+		return err
+	}},
+	{"TopK", func(ctx context.Context, e *Engine, d *Dataset) error {
+		_, err := e.TopK(ctx, d, 200, 200, 3)
+		return err
+	}},
+	{"MinRS", func(ctx context.Context, e *Engine, d *Dataset) error {
+		_, err := e.MinRS(ctx, d, 200, 200)
+		return err
+	}},
+	{"CountRS", func(ctx context.Context, e *Engine, d *Dataset) error {
+		_, err := e.CountRS(ctx, d, 200, 200)
+		return err
+	}},
+}
+
+// countingCtx counts how many times the query machinery polls Err —
+// every layer checks between block transfers, so the count measures the
+// cancellation points a query of this shape passes through.
+type countingCtx struct {
+	context.Context
+	n atomic.Int64
+}
+
+func (c *countingCtx) Err() error {
+	c.n.Add(1)
+	return nil
+}
+
+// cancelAfterCtx reports context.Canceled from its n-th Err check on. It
+// exploits the library's polling contract — ctx.Err() is consulted at
+// block-transfer granularity on every layer — to place cancellation at an
+// exact, scheduler-independent point inside the query's work, which a
+// real context.WithCancel racing the solve cannot do. Done is inherited
+// from context.Background (never closes); the engine never blocks on
+// Done, so Err is the only signal it needs.
+type cancelAfterCtx struct {
+	context.Context
+	left atomic.Int64
+}
+
+func newCancelAfter(n int64) *cancelAfterCtx {
+	c := &cancelAfterCtx{Context: context.Background()}
+	c.left.Store(n)
+	return c
+}
+
+func (c *cancelAfterCtx) Err() error {
+	if c.left.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// runCancelled runs kind under a context cancelling at its checksIn-th
+// cancellation check and requires the query to actually fail with an
+// error matching both ErrQueryCancelled and context.Canceled.
+func runCancelled(t *testing.T, e *Engine, d *Dataset, run func(context.Context, *Engine, *Dataset) error, checksIn int64) {
+	t.Helper()
+	err := run(newCancelAfter(checksIn), e, d)
+	if err == nil {
+		t.Fatalf("query cancelled at check %d completed anyway", checksIn)
+	}
+	if !errors.Is(err, ErrQueryCancelled) {
+		t.Fatalf("cancelled query error %v does not match ErrQueryCancelled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled query error %v does not match context.Canceled", err)
+	}
+}
+
+// TestCancelMidQuery is the acceptance matrix: every query kind ×
+// {in-memory, OnDisk} × {unsharded, sharded}, cancelled at several points
+// across the query's transfer schedule. After every attempt the engine
+// must be back to exactly the dataset's blocks (all intermediates and
+// shard disks released), and for OnDisk engines no shard temp file may
+// survive. Runs race-clean under -race in CI.
+func TestCancelMidQuery(t *testing.T) {
+	for _, onDisk := range []bool{false, true} {
+		for _, shards := range []int{0, 3} {
+			name := fmt.Sprintf("onDisk=%v/shards=%d", onDisk, shards)
+			t.Run(name, func(t *testing.T) {
+				dir := t.TempDir()
+				e, err := NewEngine(&Options{
+					BlockSize: 512,
+					Memory:    4096,
+					OnDisk:    onDisk,
+					OnDiskDir: dir,
+					Shards:    shards,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer e.Close()
+				d := testDataset(t, e, 1200)
+				base := e.BlocksInUse()
+
+				for _, kind := range cancelKinds {
+					t.Run(kind.name, func(t *testing.T) {
+						// Count this query shape's cancellation checks on a
+						// full run, then cancel across that range: start,
+						// 1/4, 1/2, 3/4, and the final check.
+						counter := &countingCtx{Context: context.Background()}
+						if err := kind.run(counter, e, d); err != nil {
+							t.Fatal(err)
+						}
+						checks := counter.n.Load()
+						wantInUse(t, e, base, "after uncancelled "+kind.name)
+
+						points := []int64{0, checks / 4, checks / 2, checks * 3 / 4, checks - 1}
+						points = append(points, rand.Int63n(checks)) // one randomized point per run
+						for _, p := range points {
+							runCancelled(t, e, d, kind.run, p)
+							wantInUse(t, e, base, fmt.Sprintf("after cancel at check %d/%d", p, checks))
+						}
+						if onDisk {
+							// Shard disks are file-backed too; a cancelled
+							// sharded query must have removed every one of
+							// its temp files. Only the engine's own backing
+							// file may remain.
+							entries, err := os.ReadDir(dir)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if len(entries) != 1 {
+								names := make([]string, len(entries))
+								for i, en := range entries {
+									names[i] = en.Name()
+								}
+								t.Fatalf("leaked backing files after cancellation: %v", names)
+							}
+						}
+					})
+				}
+
+				if err := d.Release(); err != nil {
+					t.Fatal(err)
+				}
+				wantInUse(t, e, 0, "after release")
+			})
+		}
+	}
+}
+
+// TestPreCancelledQuery verifies the fast path: a context cancelled
+// before the call starts fails every query kind up front — no transfers,
+// no dataset reference held, nothing allocated.
+func TestPreCancelledQuery(t *testing.T) {
+	e := newLeakEngine(t)
+	d := testDataset(t, e, 300)
+	base := e.BlocksInUse()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := e.Stats()
+	for _, kind := range cancelKinds {
+		err := kind.run(ctx, e, d)
+		if !errors.Is(err, ErrQueryCancelled) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s with pre-cancelled ctx: err = %v, want ErrQueryCancelled wrapping context.Canceled", kind.name, err)
+		}
+	}
+	if after := e.Stats(); after != before {
+		t.Fatalf("pre-cancelled queries transferred blocks: %+v -> %+v", before, after)
+	}
+	wantInUse(t, e, base, "after pre-cancelled queries")
+	if err := d.Release(); err != nil {
+		t.Fatal(err)
+	}
+	wantInUse(t, e, 0, "after release")
+}
+
+// TestDeadlineExceededQuery verifies deadline expiry is wrapped the same
+// way as explicit cancellation.
+func TestDeadlineExceededQuery(t *testing.T) {
+	e := newLeakEngine(t)
+	d := testDataset(t, e, 1200)
+	base := e.BlocksInUse()
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	_, err := e.MaxRS(ctx, d, 200, 200)
+	if !errors.Is(err, ErrQueryCancelled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrQueryCancelled wrapping context.DeadlineExceeded", err)
+	}
+	wantInUse(t, e, base, "after deadline-exceeded query")
+}
+
+// TestCancelOneQueryLeavesOthersAlone runs a query to completion while a
+// sibling on the same engine and dataset is cancelled mid-flight: the
+// completed query's result and per-query stats must be bit-identical to
+// an undisturbed run (the count-determinism contract survives
+// cancellation of neighbors).
+func TestCancelOneQueryLeavesOthersAlone(t *testing.T) {
+	e, err := NewEngine(&Options{BlockSize: 512, Memory: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	d := testDataset(t, e, 1500)
+
+	want, err := e.MaxRS(context.Background(), d, 150, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 5; i++ {
+		victimCtx, cancelVictim := context.WithCancel(context.Background())
+		victimDone := make(chan error, 1)
+		go func() {
+			_, err := e.CountRS(victimCtx, d, 250, 250)
+			victimDone <- err
+		}()
+		got, err := e.MaxRS(context.Background(), d, 150, 150)
+		cancelVictim()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameResult(got, want) {
+			t.Fatalf("round %d: result with cancelled sibling = %+v, want %+v", i, got, want)
+		}
+		if verr := <-victimDone; verr != nil && !errors.Is(verr, ErrQueryCancelled) {
+			t.Fatalf("victim failed with a non-cancellation error: %v", verr)
+		}
+	}
+	if err := d.Release(); err != nil {
+		t.Fatal(err)
+	}
+	wantInUse(t, e, 0, "after release")
+}

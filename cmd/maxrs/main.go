@@ -13,12 +13,15 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"maxrs"
 )
@@ -38,8 +41,22 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C cancels the in-flight solve through the engine's ctx path —
+	// it stops within one block-transfer's work instead of running the
+	// full instance to completion. Once the first signal lands, default
+	// handling is restored (AfterFunc → stop), so a second Ctrl-C kills
+	// the process outright even in the phases that are not ctx-aware.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
 	objs, err := readObjects(*in)
 	if err != nil {
+		fatal(err)
+	}
+	// The load phases don't poll ctx internally; honor a Ctrl-C that
+	// arrived during them at the phase boundary.
+	if err := ctx.Err(); err != nil {
 		fatal(err)
 	}
 	alg, err := parseAlgorithm(*algo)
@@ -59,18 +76,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if err := ctx.Err(); err != nil {
+		fatal(err)
+	}
 	engine.ResetStats()
 
 	switch {
 	case *circle:
-		res, err := engine.MaxCRS(ds, *d)
+		res, err := engine.MaxCRS(ctx, ds, *d)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("MaxCRS (ApproxMaxCRS, diameter %g): center=(%g, %g) weight=%g (≥ %.0f%% of optimum)\n",
 			*d, res.Location.X, res.Location.Y, res.Score, 100*res.LowerBoundRatio)
 	case *k > 1:
-		results, err := engine.TopK(ds, *w, *h, *k)
+		results, err := engine.TopK(ctx, ds, *w, *h, *k)
 		if err != nil {
 			fatal(err)
 		}
@@ -79,7 +99,7 @@ func main() {
 			fmt.Printf("  #%d center=(%g, %g) weight=%g\n", i+1, r.Location.X, r.Location.Y, r.Score)
 		}
 	default:
-		res, err := engine.MaxRS(ds, *w, *h)
+		res, err := engine.MaxRS(ctx, ds, *w, *h)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -31,7 +32,7 @@ func runLoadQuery(e *maxrs.Engine, d *maxrs.Dataset, i int, extent float64) (sco
 	size := extent / float64(20+(i%5)*15) // varied, cache-unfriendly sizes
 	switch i % 8 {
 	case 6:
-		rs, err := e.TopK(d, size, size, 2)
+		rs, err := e.TopK(context.Background(), d, size, size, 2)
 		if err != nil || len(rs) == 0 {
 			return 0, 0, err
 		}
@@ -41,16 +42,16 @@ func runLoadQuery(e *maxrs.Engine, d *maxrs.Dataset, i int, extent float64) (sco
 		}
 		return rs[0].Score, total, nil
 	case 7:
-		r, err := e.MaxCRS(d, size)
+		r, err := e.MaxCRS(context.Background(), d, size)
 		return r.Score, r.Stats.Total(), err
 	case 5:
-		r, err := e.CountRS(d, size, size)
+		r, err := e.CountRS(context.Background(), d, size, size)
 		return r.Score, r.Stats.Total(), err
 	case 4:
-		r, err := e.MinRS(d, size, size)
+		r, err := e.MinRS(context.Background(), d, size, size)
 		return r.Score, r.Stats.Total(), err
 	default:
-		r, err := e.MaxRS(d, size, size)
+		r, err := e.MaxRS(context.Background(), d, size, size)
 		return r.Score, r.Stats.Total(), err
 	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -89,7 +90,7 @@ func runShard(cfg shardBenchConfig) ([]experiments.Series, error) {
 				}
 				eng.ResetStats()
 				start := time.Now()
-				res, err := eng.MaxRS(ds, queryEdge, queryEdge)
+				res, err := eng.MaxRS(context.Background(), ds, queryEdge, queryEdge)
 				elapsed := time.Since(start)
 				if err != nil {
 					_ = eng.Close()

@@ -55,6 +55,7 @@ func main() {
 		onDisk    = flag.Bool("ondisk", false, "back blocks with a temp file instead of process memory")
 		onDiskDir = flag.String("ondiskdir", "", "directory for the -ondisk backing file (default: system temp)")
 		dataDir   = flag.String("datadir", "", "directory PUT /datasets/{name}?path= may read CSV files from (empty disables server-local loads)")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline: in-flight queries get this long to finish before they are cancelled")
 	)
 	flag.Parse()
 	eng, err := maxrs.NewEngine(&maxrs.Options{
@@ -85,14 +86,26 @@ func main() {
 	var err2 error
 	select {
 	case <-sigCtx.Done():
-		log.Printf("maxrsd: shutting down")
-		shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		if err := httpSrv.Shutdown(shutCtx); err != nil {
-			// Handlers may still be mid-query; closing the engine under
-			// them would violate Close's exclusivity contract. Prefer
-			// leaking the backing file to a use-after-close race.
-			log.Fatal(err)
+		log.Printf("maxrsd: shutting down (draining up to %s)", *drain)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := httpSrv.Shutdown(shutCtx)
+		cancel()
+		if err != nil {
+			// Drain deadline hit with queries still running. Cancel the
+			// stragglers through the engine's ctx path — each aborts within
+			// one block-transfer's work, releasing its intermediates — and
+			// give the handlers a moment to unwind.
+			log.Printf("maxrsd: drain deadline exceeded, cancelling in-flight queries")
+			srv.cancelQueries()
+			shutCtx, cancel = context.WithTimeout(context.Background(), 5*time.Second)
+			err = httpSrv.Shutdown(shutCtx)
+			cancel()
+			if err != nil {
+				// Handlers are somehow still mid-query; closing the engine
+				// under them would violate Close's exclusivity contract.
+				// Prefer leaking the backing file to a use-after-close race.
+				log.Fatal(err)
+			}
 		}
 	case err2 = <-serveErr:
 	}

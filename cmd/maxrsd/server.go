@@ -26,6 +26,13 @@ type server struct {
 	cache   *resultCache
 	dataDir string // root for ?path= loads; empty disables them
 
+	// hardStop is the server-wide cancellation: every query runs under a
+	// context derived from both its request and hardStop, so a client
+	// disconnect stops that query and cancelQueries stops all of them
+	// (the graceful-shutdown straggler deadline).
+	hardStop      context.Context
+	cancelQueries context.CancelFunc
+
 	mu       sync.RWMutex
 	datasets map[string]*dsEntry
 	nextGen  atomic.Uint64
@@ -43,11 +50,27 @@ func newServer(eng *maxrs.Engine, workers, cacheSize int) *server {
 	if workers < 1 {
 		workers = 1
 	}
+	hardStop, cancel := context.WithCancel(context.Background())
 	return &server{
-		eng:      eng,
-		sem:      make(chan struct{}, workers),
-		cache:    newResultCache(cacheSize),
-		datasets: make(map[string]*dsEntry),
+		eng:           eng,
+		sem:           make(chan struct{}, workers),
+		cache:         newResultCache(cacheSize),
+		hardStop:      hardStop,
+		cancelQueries: cancel,
+		datasets:      make(map[string]*dsEntry),
+	}
+}
+
+// queryContext derives one query's context: cancelled when the client
+// disconnects (or its request deadline passes), and when the server's
+// straggler cancellation fires during shutdown. The returned stop must be
+// called when the query finishes to release the AfterFunc.
+func (s *server) queryContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	unhook := context.AfterFunc(s.hardStop, cancel)
+	return ctx, func() {
+		unhook()
+		cancel()
 	}
 }
 
@@ -323,7 +346,14 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	if err := s.acquire(r.Context()); err != nil {
+	// One context for the queue wait and the query itself: a client that
+	// disconnects while queued never occupies a worker, and one that
+	// disconnects mid-solve stops burning the engine within one
+	// block-transfer's work (the ctx is threaded through every layer of
+	// the solve — DESIGN.md §10).
+	ctx, stop := s.queryContext(r)
+	defer stop()
+	if err := s.acquire(ctx); err != nil {
 		httpError(w, http.StatusServiceUnavailable, "queue wait: %v", err)
 		return
 	}
@@ -342,7 +372,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var resp queryResponse
 	var err error
 	for {
-		resp, err = s.runQuery(entry, req)
+		resp, err = s.runQuery(ctx, entry, req)
 		if err == nil || !errors.Is(err, maxrs.ErrDatasetReleased) {
 			break
 		}
@@ -355,8 +385,13 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		code := http.StatusInternalServerError
-		if errors.Is(err, maxrs.ErrInvalidQuery) || errors.Is(err, errUnknownOp) {
+		switch {
+		case errors.Is(err, maxrs.ErrInvalidQuery), errors.Is(err, errUnknownOp):
 			code = http.StatusBadRequest
+		case errors.Is(err, maxrs.ErrQueryCancelled):
+			// A disconnected client never reads this; a shutdown-cancelled
+			// straggler gets an honest "try elsewhere".
+			code = http.StatusServiceUnavailable
 		}
 		httpError(w, code, "query: %v", err)
 		return
@@ -367,18 +402,20 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 var errUnknownOp = errors.New("unknown op (want maxrs, maxcrs or topk)")
 
-// runQuery dispatches one query against a resolved dataset entry.
-func (s *server) runQuery(entry *dsEntry, req queryRequest) (queryResponse, error) {
+// runQuery dispatches one query against a resolved dataset entry under
+// ctx: cancellation (client disconnect, request deadline, server
+// shutdown) aborts the engine work, not just the response write.
+func (s *server) runQuery(ctx context.Context, entry *dsEntry, req queryRequest) (queryResponse, error) {
 	resp := queryResponse{Dataset: req.Dataset, Op: req.Op}
 	switch req.Op {
 	case "maxrs":
-		res, err := s.eng.MaxRS(entry.ds, req.W, req.H)
+		res, err := s.eng.MaxRS(ctx, entry.ds, req.W, req.H)
 		if err != nil {
 			return resp, err
 		}
 		resp.Results = []queryResult{fromResult(res)}
 	case "maxcrs":
-		res, err := s.eng.MaxCRS(entry.ds, req.Diameter)
+		res, err := s.eng.MaxCRS(ctx, entry.ds, req.Diameter)
 		if err != nil {
 			return resp, err
 		}
@@ -388,7 +425,7 @@ func (s *server) runQuery(entry *dsEntry, req queryRequest) (queryResponse, erro
 			Stats:    statsJSON{Reads: res.Stats.Reads, Writes: res.Stats.Writes, Total: res.Stats.Total()},
 		}}
 	case "topk":
-		results, err := s.eng.TopK(entry.ds, req.W, req.H, req.K)
+		results, err := s.eng.TopK(ctx, entry.ds, req.W, req.H, req.K)
 		if err != nil {
 			return resp, err
 		}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -10,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"maxrs"
 )
@@ -350,5 +352,115 @@ func TestDegenerateResultNotSilentEmpty(t *testing.T) {
 		}
 	} else if _, ok := env["error"]; !ok {
 		t.Fatalf("status %d without error field: %s", resp.StatusCode, body)
+	}
+}
+
+// bigCSV returns a dataset large enough that a query takes many block
+// transfers under the tiny test EM budget.
+func bigCSV(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%d,%d,%d\n", (i*7919)%4000, (i*104729)%4000, 1+i%5)
+	}
+	return b.String()
+}
+
+// TestClientDisconnectCancelsQuery verifies the ctx wiring: a client that
+// goes away mid-query stops the engine work (the handler returns, the
+// worker slot frees, and no intermediate blocks stay allocated).
+func TestClientDisconnectCancelsQuery(t *testing.T) {
+	srv, ts := newTestServer(t)
+	putDataset(t, ts, "big", bigCSV(4000))
+	base := srv.eng.BlocksInUse()
+
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/query",
+			strings.NewReader(`{"dataset":"big","op":"topk","w":600,"h":600,"k":4}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() {
+			resp, err := http.DefaultClient.Do(req)
+			if err == nil {
+				resp.Body.Close()
+			}
+			done <- err
+		}()
+		// Give the query a moment to start, then hang up.
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+		if err := <-done; err == nil {
+			// The query may legitimately have finished before the cancel —
+			// but usually the client sees its own context error.
+			t.Log("query completed before disconnect")
+		}
+		// The handler may still be unwinding for a moment after the client
+		// gives up; wait for the engine to drain.
+		deadline := time.Now().Add(5 * time.Second)
+		for srv.eng.BlocksInUse() != base && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if n := srv.eng.BlocksInUse(); n != base {
+			t.Fatalf("round %d: %d blocks in use after disconnect, want %d", i, n, base)
+		}
+	}
+}
+
+// TestShutdownCancelsStragglers verifies the graceful-shutdown path: when
+// the drain deadline passes, cancelQueries aborts in-flight queries
+// through the engine ctx path and the handlers return 503.
+func TestShutdownCancelsStragglers(t *testing.T) {
+	srv, ts := newTestServer(t)
+	putDataset(t, ts, "big", bigCSV(4000))
+	base := srv.eng.BlocksInUse()
+
+	started := make(chan struct{})
+	results := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			// No t.Fatal from this goroutine (FailNow must run on the
+			// test goroutine); report transport errors as -1 instead.
+			if i == 0 {
+				close(started)
+			}
+			resp, err := http.Post(ts.URL+"/query", "application/json",
+				strings.NewReader(`{"dataset":"big","op":"topk","w":600,"h":600,"k":8}`))
+			if err != nil {
+				results <- -1
+				return
+			}
+			resp.Body.Close()
+			results <- resp.StatusCode
+		}(i)
+	}
+	<-started
+	time.Sleep(5 * time.Millisecond) // let the queries reach the engine
+	srv.cancelQueries()              // the drain-deadline straggler cancel
+
+	sawCancelled := false
+	for i := 0; i < 2; i++ {
+		switch code := <-results; code {
+		case http.StatusServiceUnavailable:
+			sawCancelled = true
+		case http.StatusOK:
+			// Finished before the cancel landed — legal.
+		case -1:
+			// Transport error during the shutdown race — legal too; the
+			// engine-drain assertion below is the real invariant.
+		default:
+			t.Fatalf("unexpected status %d", code)
+		}
+	}
+	if !sawCancelled {
+		t.Log("both queries finished before the straggler cancel (slow machine?)")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.eng.BlocksInUse() != base && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := srv.eng.BlocksInUse(); n != base {
+		t.Fatalf("%d blocks in use after straggler cancel, want %d", n, base)
 	}
 }

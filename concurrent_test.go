@@ -1,6 +1,7 @@
 package maxrs
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -49,19 +50,19 @@ func mixedQuery(e *Engine, d *Dataset, i int) (string, error) {
 	size := float64(50 * (1 + i%5))
 	switch i % 5 {
 	case 0:
-		r, err := e.MaxRS(d, size, size)
+		r, err := e.MaxRS(context.Background(), d, size, size)
 		return fmt.Sprintf("maxrs %+v", r), err
 	case 1:
-		rs, err := e.TopK(d, size, size, 3)
+		rs, err := e.TopK(context.Background(), d, size, size, 3)
 		return fmt.Sprintf("topk %+v", rs), err
 	case 2:
-		r, err := e.MinRS(d, size, size)
+		r, err := e.MinRS(context.Background(), d, size, size)
 		return fmt.Sprintf("minrs %+v", r), err
 	case 3:
-		r, err := e.CountRS(d, size, size)
+		r, err := e.CountRS(context.Background(), d, size, size)
 		return fmt.Sprintf("countrs %+v", r), err
 	default:
-		r, err := e.MaxCRS(d, size)
+		r, err := e.MaxCRS(context.Background(), d, size)
 		return fmt.Sprintf("maxcrs %+v", r), err
 	}
 }
@@ -147,7 +148,7 @@ func TestConcurrentBaselineAlgorithms(t *testing.T) {
 			}
 			defer e.Close()
 			d := testDataset(t, e, 400)
-			want, err := e.MaxRS(d, 200, 200)
+			want, err := e.MaxRS(context.Background(), d, 200, 200)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -157,7 +158,7 @@ func TestConcurrentBaselineAlgorithms(t *testing.T) {
 				wg.Add(1)
 				go func(g int) {
 					defer wg.Done()
-					got, err := e.MaxRS(d, 200, 200)
+					got, err := e.MaxRS(context.Background(), d, 200, 200)
 					if err != nil {
 						errs[g] = err
 						return
@@ -201,7 +202,7 @@ func TestDatasetReleaseDuringQueries(t *testing.T) {
 			defer wg.Done()
 			<-start
 			for i := 0; i < 4; i++ {
-				_, err := e.MaxRS(d, 100, 100)
+				_, err := e.MaxRS(context.Background(), d, 100, 100)
 				if err != nil && err != ErrDatasetReleased {
 					errs[g] = err
 					return
@@ -223,7 +224,7 @@ func TestDatasetReleaseDuringQueries(t *testing.T) {
 		t.Fatalf("BlocksInUse = %d after release + drain, want 0", n)
 	}
 	// Queries after release must fail cleanly.
-	if _, err := e.MaxRS(d, 100, 100); err != ErrDatasetReleased {
+	if _, err := e.MaxRS(context.Background(), d, 100, 100); err != ErrDatasetReleased {
 		t.Fatalf("query on released dataset: err = %v, want ErrDatasetReleased", err)
 	}
 	if err := d.Release(); err != nil {
@@ -243,7 +244,7 @@ func TestPerQueryStats(t *testing.T) {
 	d := testDataset(t, e, 1000)
 	e.ResetStats()
 
-	r1, err := e.MaxRS(d, 300, 300)
+	r1, err := e.MaxRS(context.Background(), d, 300, 300)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +255,7 @@ func TestPerQueryStats(t *testing.T) {
 	if r1.Stats.Reads != global.Reads || r1.Stats.Writes != global.Writes {
 		t.Fatalf("solo query stats %+v != global delta %+v", r1.Stats, global)
 	}
-	r2, err := e.MaxRS(d, 300, 300)
+	r2, err := e.MaxRS(context.Background(), d, 300, 300)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestPerQueryStats(t *testing.T) {
 
 	// TopK rounds: per-round stats sum to the call's global delta.
 	e.ResetStats()
-	rs, err := e.TopK(d, 300, 300, 3)
+	rs, err := e.TopK(context.Background(), d, 300, 300, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,11 @@
 package maxrs
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"maxrs/internal/crs"
-	"maxrs/internal/em"
 	"maxrs/internal/geom"
 )
 
@@ -31,16 +31,21 @@ type CRSResult struct {
 // center and four shifted candidates. The answer is guaranteed to cover
 // at least 1/4 of the optimal weight (Theorem 3) and empirically ~90% for
 // realistic densities (Fig. 17).
-func (e *Engine) MaxCRS(d *Dataset, diameter float64) (_ CRSResult, err error) {
+//
+// Cancelling ctx aborts the inner solve or the candidate scan within one
+// block-transfer's work. Of the QueryOptions, WithUnfused and
+// WithParallelism apply; WithAlgorithm and WithShards are ignored — the
+// rectangle transform is ExactMaxRS by construction and stays unsharded.
+func (e *Engine) MaxCRS(ctx context.Context, d *Dataset, diameter float64, opts ...QueryOption) (_ CRSResult, err error) {
 	if !(diameter > 0) || math.IsInf(diameter, 0) {
 		return CRSResult{}, fmt.Errorf("%w: diameter %g must be positive and finite", ErrInvalidQuery, diameter)
 	}
-	if err := d.acquire(); err != nil {
+	q, err := e.begin(ctx, d, opts)
+	if err != nil {
 		return CRSResult{}, err
 	}
-	defer d.endQuery(&err)
-	sc := new(em.ScopeStats)
-	res, err := crs.ApproxScoped(e.solver, d.file, diameter, sc)
+	defer q.end(&err)
+	res, err := crs.ApproxScoped(q.ctx, q.solver, d.file, diameter, q.sc)
 	if err != nil {
 		return CRSResult{}, err
 	}
@@ -48,15 +53,15 @@ func (e *Engine) MaxCRS(d *Dataset, diameter float64) (_ CRSResult, err error) {
 		Location:        Point{X: res.Center.X, Y: res.Center.Y},
 		Score:           res.Weight,
 		LowerBoundRatio: 0.25,
-		Stats:           queryStatsOf(sc),
+		Stats:           queryStatsOf(q.sc),
 	}, nil
 }
 
 // MaxCRS is the one-shot convenience form of Engine.MaxCRS: it builds an
-// engine, loads objs, solves, and closes the engine on every path — with
-// Options.OnDisk the backing temp file is removed even when loading or
-// solving fails.
-func MaxCRS(objs []Object, diameter float64, opts *Options) (_ CRSResult, err error) {
+// engine, loads objs, solves under ctx, and closes the engine on every
+// path — with Options.OnDisk the backing temp file is removed even when
+// loading or solving fails.
+func MaxCRS(ctx context.Context, objs []Object, diameter float64, opts *Options, qopts ...QueryOption) (_ CRSResult, err error) {
 	e, err := NewEngine(opts)
 	if err != nil {
 		return CRSResult{}, err
@@ -66,7 +71,7 @@ func MaxCRS(objs []Object, diameter float64, opts *Options) (_ CRSResult, err er
 	if err != nil {
 		return CRSResult{}, err
 	}
-	return e.MaxCRS(d, diameter)
+	return e.MaxCRS(ctx, d, diameter, qopts...)
 }
 
 // MaxCRSExact solves MaxCRS exactly with the in-memory arrangement-sweep

@@ -1,6 +1,7 @@
 package maxrs_test
 
 import (
+	"context"
 	"fmt"
 
 	"maxrs"
@@ -14,7 +15,7 @@ func ExampleMaxRS() {
 		{X: 3, Y: 1, Weight: 1},
 		{X: 40, Y: 40, Weight: 1},
 	}
-	res, err := maxrs.MaxRS(objs, 4, 4, nil)
+	res, err := maxrs.MaxRS(context.Background(), objs, 4, 4, nil)
 	if err != nil {
 		panic(err)
 	}
@@ -31,7 +32,7 @@ func ExampleMaxCRS() {
 		{X: 0, Y: 1, Weight: 2},
 		{X: 90, Y: 90, Weight: 1},
 	}
-	res, err := maxrs.MaxCRS(objs, 4, nil)
+	res, err := maxrs.MaxCRS(context.Background(), objs, 4, nil)
 	if err != nil {
 		panic(err)
 	}
@@ -59,7 +60,7 @@ func ExampleEngine_MaxRS() {
 		panic(err)
 	}
 	engine.ResetStats()
-	res, err := engine.MaxRS(ds, 10, 10)
+	res, err := engine.MaxRS(context.Background(), ds, 10, 10)
 	if err != nil {
 		panic(err)
 	}
@@ -84,7 +85,7 @@ func ExampleEngine_TopK() {
 	if err != nil {
 		panic(err)
 	}
-	results, err := engine.TopK(ds, 10, 10, 2)
+	results, err := engine.TopK(context.Background(), ds, 10, 10, 2)
 	if err != nil {
 		panic(err)
 	}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -54,7 +55,7 @@ func main() {
 
 	const zone = 1000.0 // 1 km delivery zone edge
 	engine.ResetStats()
-	best, err := engine.MaxRS(ds, zone, zone)
+	best, err := engine.MaxRS(context.Background(), ds, zone, zone)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func main() {
 	fmt.Printf("  query cost: %d block transfers\n\n", engine.Stats().Total())
 
 	engine.ResetStats()
-	stores, err := engine.TopK(ds, zone, zone, 3)
+	stores, err := engine.TopK(context.Background(), ds, zone, zone, 3)
 	if err != nil {
 		log.Fatal(err)
 	}

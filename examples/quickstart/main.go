@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 	}
 
 	// nil options = paper defaults: 4 KB blocks, 1 MB memory, ExactMaxRS.
-	res, err := maxrs.MaxRS(objs, 4, 4, nil)
+	res, err := maxrs.MaxRS(context.Background(), objs, 4, 4, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func main() {
 
 	// The circular variant: ApproxMaxCRS with its 1/4 worst-case bound
 	// (about 0.9 in practice — see Fig. 17 of the paper).
-	crs, err := maxrs.MaxCRS(objs, 4, nil)
+	crs, err := maxrs.MaxCRS(context.Background(), objs, 4, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -62,7 +63,7 @@ func main() {
 				log.Fatal(err)
 			}
 			engine.ResetStats()
-			res, err := engine.MaxRS(ds, queryEdge, queryEdge)
+			res, err := engine.MaxRS(context.Background(), ds, queryEdge, queryEdge)
 			if err != nil {
 				log.Fatal(err)
 			}

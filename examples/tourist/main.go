@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -47,7 +48,7 @@ func main() {
 	fmt.Printf("%d attractions across %d neighborhoods\n\n", len(objs), len(hoods))
 
 	for _, walk := range []float64{500, 1500, 3000} { // walking diameter in meters
-		approx, err := maxrs.MaxCRS(objs, walk, nil)
+		approx, err := maxrs.MaxCRS(context.Background(), objs, walk, nil)
 		if err != nil {
 			log.Fatal(err)
 		}

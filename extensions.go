@@ -1,6 +1,7 @@
 package maxrs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -23,20 +24,23 @@ import (
 // queries; each Result's Stats is the cost of its round alone.
 //
 // Each round costs one full MaxRS solve plus one linear filtering scan, so
-// the total is k times the cost of Engine.MaxRS.
-func (e *Engine) TopK(d *Dataset, w, h float64, k int) (_ []Result, err error) {
+// the total is k times the cost of Engine.MaxRS. Cancelling ctx aborts the
+// current round within one block-transfer's work, releasing the round's
+// intermediates; QueryOptions override the engine defaults for every
+// round of this call.
+func (e *Engine) TopK(ctx context.Context, d *Dataset, w, h float64, k int, opts ...QueryOption) (_ []Result, err error) {
 	if err := checkQuery(w, h); err != nil {
 		return nil, err
 	}
 	if k < 1 {
 		return nil, fmt.Errorf("%w: k = %d must be ≥ 1", ErrInvalidQuery, k)
 	}
-	if err := d.acquire(); err != nil {
+	q, err := e.begin(ctx, d, opts)
+	if err != nil {
 		return nil, err
 	}
-	defer d.endQuery(&err)
-	sc := new(em.ScopeStats)
-	env := e.env.WithScope(sc)
+	defer q.end(&err)
+	env := q.env()
 	// Every round removes ≥ 1 object, so results never exceed d.Len();
 	// don't let an untrusted huge k size the allocation.
 	results := make([]Result, 0, min(k, d.Len()))
@@ -47,13 +51,13 @@ func (e *Engine) TopK(d *Dataset, w, h float64, k int) (_ []Result, err error) {
 			_ = cur.Release()
 		}
 	}()
-	shards := e.shardsFor(d) // resolved once; every round solves alike
-	var prev QueryStats      // scope snapshot at the start of the round
+	shards := q.shardsFor() // resolved once; every round solves alike
+	var prev QueryStats     // scope snapshot at the start of the round
 	for round := 0; round < k; round++ {
 		if cur.Size() == 0 {
 			break
 		}
-		res, shardStats, err := e.solveObjects(cur, w, h, sc, shards)
+		res, shardStats, err := q.solveObjects(cur, w, h, shards)
 		if err != nil {
 			return nil, err
 		}
@@ -61,6 +65,8 @@ func (e *Engine) TopK(d *Dataset, w, h float64, k int) (_ []Result, err error) {
 			break // nothing left to cover
 		}
 		out := fromSweep(res)
+		out.Algorithm = ExactMaxRS
+		out.Shards = len(shardStats)
 		out.ShardStats = shardStats
 		if round < k-1 {
 			// The final round's filtrate would never be solved — skip the
@@ -80,7 +86,7 @@ func (e *Engine) TopK(d *Dataset, w, h float64, k int) (_ []Result, err error) {
 			}
 			cur, owned = next, true
 		}
-		now := queryStatsOf(sc)
+		now := queryStatsOf(q.sc)
 		out.Stats = QueryStats{Reads: now.Reads - prev.Reads, Writes: now.Writes - prev.Writes}
 		prev = now
 		results = append(results, out)
@@ -154,10 +160,12 @@ func transformObjects(env em.Env, in *em.File, fn func(o rec.Object, emit func(r
 // runs ExactMaxRS, so a location whose rectangle covers nothing is a valid
 // (score 0) answer when one exists; with negative-weight objects present
 // the optimum may be strictly below zero. Safe to call concurrently with
-// other queries. MinRS never shards: the negation produces negative
-// weights, for which the shard merge is not exact (DESIGN.md §9.3).
-func (e *Engine) MinRS(d *Dataset, w, h float64) (Result, error) {
-	res, err := e.solveMapped(d, w, h, 0, func(o rec.Object) rec.Object {
+// other queries, and cancellable through ctx like every query. MinRS
+// never shards — WithShards included: the negation produces negative
+// weights, for which the shard merge is not exact (DESIGN.md §9.3);
+// Result.Shards is always 0.
+func (e *Engine) MinRS(ctx context.Context, d *Dataset, w, h float64, opts ...QueryOption) (Result, error) {
+	res, err := e.solveMapped(ctx, d, w, h, opts, func(*query) int { return 0 }, func(o rec.Object) rec.Object {
 		o.W = -o.W
 		return o
 	})
@@ -170,29 +178,31 @@ func (e *Engine) MinRS(d *Dataset, w, h float64) (Result, error) {
 
 // CountRS solves MaxRS under the COUNT aggregate (§2): every object
 // contributes 1 regardless of its weight. Safe to call concurrently with
-// other queries. The mapped weights are all 1, so CountRS shards even on
-// datasets whose own weights would force MaxRS to fall back.
-func (e *Engine) CountRS(d *Dataset, w, h float64) (Result, error) {
-	return e.solveMapped(d, w, h, e.requestedShards(d), func(o rec.Object) rec.Object {
+// other queries, and cancellable through ctx like every query. The mapped
+// weights are all 1, so CountRS shards even on datasets whose own weights
+// would force MaxRS to fall back.
+func (e *Engine) CountRS(ctx context.Context, d *Dataset, w, h float64, opts ...QueryOption) (Result, error) {
+	return e.solveMapped(ctx, d, w, h, opts, (*query).requestedShards, func(o rec.Object) rec.Object {
 		o.W = 1
 		return o
 	})
 }
 
 // solveMapped runs ExactMaxRS on a weight-transformed copy of the dataset
-// with the given shard count (0 = unsharded; the caller decides, because
+// with the shard count chosen by shardsOf (the caller decides, because
 // shardability depends on the sign of the *mapped* weights), releasing
-// the intermediate file on every path (including solve errors).
-func (e *Engine) solveMapped(d *Dataset, w, h float64, shards int, f func(rec.Object) rec.Object) (_ Result, err error) {
+// the intermediate file on every path (solve errors and cancellation
+// included).
+func (e *Engine) solveMapped(ctx context.Context, d *Dataset, w, h float64, opts []QueryOption, shardsOf func(*query) int, f func(rec.Object) rec.Object) (_ Result, err error) {
 	if err := checkQuery(w, h); err != nil {
 		return Result{}, err
 	}
-	if err := d.acquire(); err != nil {
+	q, err := e.begin(ctx, d, opts)
+	if err != nil {
 		return Result{}, err
 	}
-	defer d.endQuery(&err)
-	sc := new(em.ScopeStats)
-	mapped, err := mapObjects(e.env.WithScope(sc), d.file, f)
+	defer q.end(&err)
+	mapped, err := mapObjects(q.env(), d.file, f)
 	if err != nil {
 		return Result{}, err
 	}
@@ -201,12 +211,9 @@ func (e *Engine) solveMapped(d *Dataset, w, h float64, shards int, f func(rec.Ob
 			err = rerr
 		}
 	}()
-	res, shardStats, err := e.solveObjects(mapped, w, h, sc, shards)
+	res, shardStats, err := q.solveObjects(mapped, w, h, shardsOf(q))
 	if err != nil {
 		return Result{}, err
 	}
-	out := fromSweep(res)
-	out.Stats = queryStatsOf(sc)
-	out.ShardStats = shardStats
-	return out, nil
+	return q.result(res, shardStats, ExactMaxRS), nil
 }

@@ -1,6 +1,7 @@
 package maxrs
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -36,7 +37,7 @@ func TestEngineFusionEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := e.MaxRS(d, queryEdge, queryEdge)
+		res, err := e.MaxRS(context.Background(), d, queryEdge, queryEdge)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,7 +76,7 @@ func TestEnginePipelineInvariance(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := e.MaxRS(d, queryEdge, queryEdge)
+		res, err := e.MaxRS(context.Background(), d, queryEdge, queryEdge)
 		if err != nil {
 			t.Fatal(err)
 		}

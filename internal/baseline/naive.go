@@ -35,7 +35,7 @@ import (
 // (two events per object's transformed rectangle) and reports the count.
 // On error the partial output is released.
 func transformToEvents(env em.Env, objFile *em.File, w, h float64) (_ *em.File, _ int64, err error) {
-	rr, err := em.NewRecordReaderScoped(objFile, rec.ObjectCodec{}, env.Scope)
+	rr, err := em.OpenRecordReader(env, objFile, rec.ObjectCodec{})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -128,7 +128,7 @@ func NaiveSweep(env em.Env, objFile *em.File, w, h float64) (sweep.Result, error
 }
 
 func naiveInMemory(env em.Env, objFile *em.File, w, h float64) (sweep.Result, error) {
-	recs, err := em.ReadAllScoped(objFile, rec.ObjectCodec{}, env.Scope)
+	recs, err := em.ReadAllEnv(env, objFile, rec.ObjectCodec{})
 	if err != nil {
 		return sweep.Result{}, err
 	}

@@ -47,6 +47,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -160,17 +161,22 @@ func (s *Solver) release() { <-s.sem }
 func (s *Solver) Env() em.Env { return s.env }
 
 // task is the per-call state of one Solve* invocation: the shared Solver
-// plus an env copy carrying the call's stat scope, so concurrent solves on
-// one Solver charge their transfers to their own query. The receiver name
-// s is kept so the recursion reads the same as before; s.env (the task's
-// scoped env) shadows the embedded Solver's unscoped env.
+// plus an env copy carrying the call's stat scope and cancellation
+// context, so concurrent solves on one Solver charge their transfers to —
+// and are cancelled by — their own query. The receiver name s is kept so
+// the recursion reads the same as before; s.env (the task's scoped env)
+// shadows the embedded Solver's unscoped env.
 type task struct {
 	*Solver
 	env em.Env
+	ctx context.Context
 }
 
-func (s *Solver) task(sc *em.ScopeStats) *task {
-	return &task{Solver: s, env: s.env.WithScope(sc)}
+func (s *Solver) task(ctx context.Context, sc *em.ScopeStats) *task {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &task{Solver: s, env: s.env.WithScope(sc).WithContext(ctx), ctx: ctx}
 }
 
 // fanout returns m for the current configuration.
@@ -203,20 +209,25 @@ type node struct {
 
 // SolveObjects answers MaxRS for the objects in objFile with a w×h query
 // rectangle: it transforms objects to rectangles (§5.1) and solves the
-// transformed problem. The object file is not modified.
+// transformed problem. The object file is not modified. Convenience form
+// of SolveObjectsScoped with a background context and no stat scope.
 func (s *Solver) SolveObjects(objFile *em.File, w, h float64) (sweep.Result, error) {
-	return s.SolveObjectsScoped(objFile, w, h, nil)
+	return s.SolveObjectsScoped(context.Background(), objFile, w, h, nil)
 }
 
 // SolveObjectsScoped is SolveObjects with every block transfer of the call
 // — including reads of objFile and all intermediate files — additionally
-// charged to sc, enabling per-query I/O accounting under concurrency.
-func (s *Solver) SolveObjectsScoped(objFile *em.File, w, h float64, sc *em.ScopeStats) (sweep.Result, error) {
+// charged to sc, enabling per-query I/O accounting under concurrency, and
+// the whole solve bound to ctx: once ctx is cancelled, the recursion stops
+// within one block-transfer's work (checks sit at every recursion node and
+// on every stream), all intermediate files are released, and ctx.Err() is
+// returned. A nil ctx never cancels.
+func (s *Solver) SolveObjectsScoped(ctx context.Context, objFile *em.File, w, h float64, sc *em.ScopeStats) (sweep.Result, error) {
 	if w <= 0 || h <= 0 {
 		return sweep.Result{}, fmt.Errorf("core: query size %gx%g must be positive", w, h)
 	}
-	t := s.task(sc)
-	rr, err := em.NewRecordReaderScoped(objFile, rec.ObjectCodec{}, sc)
+	t := s.task(ctx, sc)
+	rr, err := em.OpenRecordReader(t.env, objFile, rec.ObjectCodec{})
 	if err != nil {
 		return sweep.Result{}, err
 	}
@@ -232,14 +243,14 @@ func (s *Solver) SolveObjectsScoped(objFile *em.File, w, h float64, sc *em.Scope
 // SolveRects answers the transformed MaxRS problem (Definition 5) for an
 // arbitrary weighted-rectangle file, e.g. circle MBRs from ApproxMaxCRS.
 func (s *Solver) SolveRects(rectFile *em.File) (sweep.Result, error) {
-	return s.SolveRectsScoped(rectFile, nil)
+	return s.SolveRectsScoped(context.Background(), rectFile, nil)
 }
 
-// SolveRectsScoped is SolveRects with per-call stat scoping (see
-// SolveObjectsScoped).
-func (s *Solver) SolveRectsScoped(rectFile *em.File, sc *em.ScopeStats) (sweep.Result, error) {
-	t := s.task(sc)
-	rr, err := em.NewRecordReaderScoped(rectFile, rec.WRectCodec{}, sc)
+// SolveRectsScoped is SolveRects with per-call stat scoping and
+// cancellation (see SolveObjectsScoped).
+func (s *Solver) SolveRectsScoped(ctx context.Context, rectFile *em.File, sc *em.ScopeStats) (sweep.Result, error) {
+	t := s.task(ctx, sc)
+	rr, err := em.OpenRecordReader(t.env, rectFile, rec.WRectCodec{})
 	if err != nil {
 		return sweep.Result{}, err
 	}
@@ -495,6 +506,13 @@ func (s *task) solve(n node, depth int) (*em.File, error) {
 	if depth > maxDepth {
 		n.release()
 		return nil, fmt.Errorf("%w: depth %d exceeded", ErrNoProgress, depth)
+	}
+	// One cancellation check per recursion node, on top of the per-block
+	// checks inside every stream: a cancelled query unwinds here with its
+	// input files released, and conquer's error path frees the rest.
+	if err := s.ctx.Err(); err != nil {
+		n.release()
+		return nil, err
 	}
 	if n.count <= s.capacity() {
 		return s.baseCase(n)

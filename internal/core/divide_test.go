@@ -17,7 +17,7 @@ import (
 func buildNode(t *testing.T, s *Solver, rects []rec.WRect) node {
 	t.Helper()
 	i := 0
-	events, edges, count, err := s.task(nil).buildInput(func() (rec.WRect, error) {
+	events, edges, count, err := s.task(nil, nil).buildInput(func() (rec.WRect, error) {
 		if i == len(rects) {
 			return rec.WRect{}, io.EOF
 		}
@@ -93,7 +93,7 @@ func TestChooseBoundsProperties(t *testing.T) {
 	s := mustSolver(t, env, Config{})
 	rng := rand.New(rand.NewSource(50))
 	n := buildNode(t, s, randRectsForDivide(rng, 100))
-	bounds, err := s.task(nil).chooseBounds(n)
+	bounds, err := s.task(nil, nil).chooseBounds(n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestChooseBoundsEmptyEdgeFile(t *testing.T) {
 	empty := em.NewFile(env.Disk)
 	n := node{events: em.NewFile(env.Disk), edges: empty,
 		slab: geom.Interval{Lo: 0, Hi: 10}}
-	bounds, err := s.task(nil).chooseBounds(n)
+	bounds, err := s.task(nil, nil).chooseBounds(n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,11 +140,11 @@ func TestRouteInvariants(t *testing.T) {
 	rng := rand.New(rand.NewSource(51))
 	rects := randRectsForDivide(rng, 200)
 	n := buildNode(t, s, rects)
-	bounds, err := s.task(nil).chooseBounds(n)
+	bounds, err := s.task(nil, nil).chooseBounds(n)
 	if err != nil {
 		t.Fatal(err)
 	}
-	children, spanning, err := s.task(nil).route(n, bounds)
+	children, spanning, err := s.task(nil, nil).route(n, bounds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +269,7 @@ func TestNoProgressTripwire(t *testing.T) {
 	s := mustSolver(t, env, Config{})
 	n := node{events: em.NewFile(env.Disk), edges: em.NewFile(env.Disk),
 		slab: geom.Interval{Lo: 0, Hi: 1}, count: 1 << 40}
-	if _, err := s.task(nil).solve(n, maxDepth+1); !errors.Is(err, ErrNoProgress) {
+	if _, err := s.task(nil, nil).solve(n, maxDepth+1); !errors.Is(err, ErrNoProgress) {
 		t.Fatalf("want ErrNoProgress, got %v", err)
 	}
 }

@@ -78,7 +78,7 @@ func runMergeSweep(t *testing.T, s *Solver, slab geom.Interval, bounds []float64
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := s.task(nil).mergeSweep(slabFiles, spanFile, bounds, slab)
+	out, err := s.task(nil, nil).mergeSweep(slabFiles, spanFile, bounds, slab)
 	if err != nil {
 		t.Fatal(err)
 	}

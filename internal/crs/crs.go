@@ -5,6 +5,7 @@
 package crs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -50,12 +51,15 @@ func ShiftedPoints(p0 geom.Point, d float64) [4]geom.Point {
 // points, evaluated with a single scan of the object file. The answer is
 // guaranteed to be ≥ 1/4 of the optimal MaxCRS weight (Theorem 3).
 func Approx(s *core.Solver, objFile *em.File, d float64) (Result, error) {
-	return ApproxScoped(s, objFile, d, nil)
+	return ApproxScoped(context.Background(), s, objFile, d, nil)
 }
 
 // ApproxScoped is Approx with every block transfer of the call charged to
-// sc (per-query I/O accounting; nil disables scoping).
-func ApproxScoped(s *core.Solver, objFile *em.File, d float64, sc *em.ScopeStats) (Result, error) {
+// sc (per-query I/O accounting; nil disables scoping) and both the inner
+// ExactMaxRS solve and the candidate scan bound to ctx: a cancelled
+// context stops the call within one block-transfer's work and returns
+// ctx.Err(). A nil ctx never cancels.
+func ApproxScoped(ctx context.Context, s *core.Solver, objFile *em.File, d float64, sc *em.ScopeStats) (Result, error) {
 	if d <= 0 {
 		return Result{}, fmt.Errorf("crs: diameter %g must be positive", d)
 	}
@@ -65,7 +69,7 @@ func ApproxScoped(s *core.Solver, objFile *em.File, d float64, sc *em.ScopeStats
 	// The MBR of the circle of diameter d centered at an object is exactly
 	// the transformed d×d rectangle, so SolveObjects(d, d) is the MaxRS
 	// call of Algorithm 3 line 2.
-	rs, err := s.SolveObjectsScoped(objFile, d, d, sc)
+	rs, err := s.SolveObjectsScoped(ctx, objFile, d, d, sc)
 	if err != nil {
 		return Result{}, err
 	}
@@ -78,7 +82,7 @@ func ApproxScoped(s *core.Solver, objFile *em.File, d float64, sc *em.ScopeStats
 	candidates := [5]geom.Point{p0, shifted[0], shifted[1], shifted[2], shifted[3]}
 
 	// Algorithm 3 line 7: one scan of the objects, five accumulators.
-	weights, err := scanCandidates(objFile, candidates[:], d, sc)
+	weights, err := scanCandidates(s.Env().WithScope(sc).WithContext(ctx), objFile, candidates[:], d)
 	if err != nil {
 		return Result{}, err
 	}
@@ -94,8 +98,8 @@ func ApproxScoped(s *core.Solver, objFile *em.File, d float64, sc *em.ScopeStats
 // scanCandidates streams the object file once and returns, for each
 // candidate center, the total weight of objects strictly inside the
 // diameter-d circle around it.
-func scanCandidates(objFile *em.File, candidates []geom.Point, d float64, sc *em.ScopeStats) ([]float64, error) {
-	rr, err := em.NewRecordReaderScoped(objFile, rec.ObjectCodec{}, sc)
+func scanCandidates(env em.Env, objFile *em.File, candidates []geom.Point, d float64) ([]float64, error) {
+	rr, err := em.OpenRecordReader(env, objFile, rec.ObjectCodec{})
 	if err != nil {
 		return nil, err
 	}

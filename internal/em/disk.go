@@ -13,6 +13,7 @@
 package em
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -302,6 +303,15 @@ type Env struct {
 	// constructors). It lets one query's I/O be accounted separately while
 	// the Disk's global counters keep the grand total.
 	Scope *ScopeStats
+
+	// Ctx, when non-nil, is the cancellation context of the work running
+	// under this Env. Streams created through the Env (Env.NewFile,
+	// OpenRecordReader) check it at block-transfer granularity: once the
+	// context is cancelled, the next block read or write fails with
+	// ctx.Err() instead of transferring, so a cancelled query stops within
+	// one block-transfer's work on every layer built on these streams
+	// (DESIGN.md §10). A nil Ctx never cancels.
+	Ctx context.Context
 }
 
 // WithScope returns a copy of e whose streams charge sc on top of the
@@ -311,9 +321,27 @@ func (e Env) WithScope(sc *ScopeStats) Env {
 	return e
 }
 
+// WithContext returns a copy of e whose streams abort with ctx's error at
+// block-transfer granularity once ctx is cancelled.
+func (e Env) WithContext(ctx context.Context) Env {
+	e.Ctx = ctx
+	return e
+}
+
+// Err returns the env's context error: non-nil once the context is
+// cancelled, always nil for an env without a context. Layers with long
+// CPU-only stretches (sort, merge bookkeeping) call it between block
+// transfers to honor cancellation promptly.
+func (e Env) Err() error {
+	if e.Ctx == nil {
+		return nil
+	}
+	return e.Ctx.Err()
+}
+
 // NewFile returns an empty file on the env's disk whose streams charge the
-// env's scope (if any).
-func (e Env) NewFile() *File { return NewFileScoped(e.Disk, e.Scope) }
+// env's scope (if any) and honor the env's context (if any).
+func (e Env) NewFile() *File { return &File{disk: e.Disk, scope: e.Scope, ctx: e.Ctx} }
 
 // NewEnv validates and returns an Env with block size B and memory M, both
 // in bytes.

@@ -1,6 +1,7 @@
 package em
 
 import (
+	"context"
 	"fmt"
 	"io"
 )
@@ -11,9 +12,18 @@ import (
 // distribution-sweep algorithm (runs, slab files, spanning files).
 type File struct {
 	disk   *Disk
-	scope  *ScopeStats // default per-query attribution for streams on this file
+	scope  *ScopeStats     // default per-query attribution for streams on this file
+	ctx    context.Context // default cancellation for streams on this file (nil = never)
 	blocks []BlockID
 	size   int64 // logical length in bytes
+}
+
+// ctxErr reports a context's cancellation; a nil context never cancels.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // NewFile returns an empty file on d.
@@ -62,6 +72,7 @@ func (f *File) Release() error {
 type Writer struct {
 	file   *File
 	scope  *ScopeStats
+	ctx    context.Context // abort before the next block write once cancelled
 	buf    []byte
 	n      int // bytes buffered
 	closed bool
@@ -83,7 +94,7 @@ type writeBehind struct {
 // the caller must avoid (write-once discipline). Transfers are charged to
 // the file's scope (if any) on top of the disk-global counters.
 func (f *File) NewWriter() *Writer {
-	w := &Writer{file: f, scope: f.scope, buf: make([]byte, f.disk.blockSize)}
+	w := &Writer{file: f, scope: f.scope, ctx: f.ctx, buf: make([]byte, f.disk.blockSize)}
 	if f.disk.Pipelined() {
 		w.wb = &writeBehind{spare: make([]byte, f.disk.blockSize), ch: make(chan error, 1)}
 	}
@@ -112,6 +123,14 @@ func (w *Writer) Write(p []byte) (int, error) {
 func (w *Writer) flush() error {
 	if w.n == 0 {
 		return nil
+	}
+	// The cancellation check sits at block granularity: a full buffer is
+	// the unit of work, so a cancelled query stops before its next
+	// transfer. The in-flight write-behind block (if any) still drains —
+	// abandoning it mid-air is the leak the generation guard exists for,
+	// not a latency win.
+	if err := ctxErr(w.ctx); err != nil {
+		return err
 	}
 	if err := w.awaitWrite(); err != nil {
 		return err
@@ -189,6 +208,7 @@ func (w *Writer) Close() error {
 type Reader struct {
 	file  *File
 	scope *ScopeStats
+	ctx   context.Context // abort before the next block fetch once cancelled
 	buf   []byte
 	next  int // next block index to fetch
 	avail []byte
@@ -209,7 +229,7 @@ type prefetcher struct {
 // NewReader returns a Reader positioned at the start of f, charging
 // transfers to the file's scope (if any).
 func (f *File) NewReader() *Reader {
-	r := &Reader{file: f, scope: f.scope, buf: make([]byte, f.disk.blockSize)}
+	r := &Reader{file: f, scope: f.scope, ctx: f.ctx, buf: make([]byte, f.disk.blockSize)}
 	if f.disk.Pipelined() {
 		r.pre = &prefetcher{spare: make([]byte, f.disk.blockSize), ch: make(chan error, 1)}
 	}
@@ -249,6 +269,13 @@ func (r *Reader) Read(p []byte) (int, error) {
 func (r *Reader) fill() error {
 	if r.next >= len(r.file.blocks) {
 		return io.EOF
+	}
+	// Block-granularity cancellation: stop before fetching (or consuming a
+	// prefetch of) the next block. An in-flight prefetch goroutine is
+	// one-shot with a buffered channel, so abandoning it here cannot leak
+	// it; its block lands in a private buffer that is never consumed.
+	if err := ctxErr(r.ctx); err != nil {
+		return err
 	}
 	if r.pre != nil && r.pre.inflight && r.pre.idx == r.next {
 		err := <-r.pre.ch
@@ -390,6 +417,23 @@ func NewRecordReaderScoped[T any](f *File, c Codec[T], sc *ScopeStats) (*RecordR
 	return rr, nil
 }
 
+// OpenRecordReader returns a reader on f charging transfers to env's scope
+// and aborting at block-transfer granularity once env's context is
+// cancelled. It is the way to read a pre-existing shared file (a loaded
+// dataset) on behalf of one query; files created through Env.NewFile carry
+// the scope and context already.
+func OpenRecordReader[T any](env Env, f *File, c Codec[T]) (*RecordReader[T], error) {
+	rr, err := NewRecordReader(f, c)
+	if err != nil {
+		return nil, err
+	}
+	rr.r.scope = env.Scope
+	if env.Ctx != nil {
+		rr.r.ctx = env.Ctx
+	}
+	return rr, nil
+}
+
 // Read returns the next record, or io.EOF after the last one.
 func (rr *RecordReader[T]) Read() (T, error) {
 	var zero T
@@ -452,13 +496,30 @@ func RecordCount(f *File, recSize int) int64 {
 // WriteAll writes every record of vs to a fresh file on d and returns it.
 // Convenience for tests and data loading.
 func WriteAll[T any](d *Disk, c Codec[T], vs []T) (*File, error) {
-	return WriteAllScoped(d, nil, c, vs)
+	return writeAll(&File{disk: d}, c, vs)
 }
 
 // WriteAllScoped is WriteAll with the transfers (and those of future
 // streams on the returned file) charged to sc.
 func WriteAllScoped[T any](d *Disk, sc *ScopeStats, c Codec[T], vs []T) (*File, error) {
-	f := NewFileScoped(d, sc)
+	return writeAll(NewFileScoped(d, sc), c, vs)
+}
+
+// WriteAllEnv is WriteAll on a file created through env, so the transfers
+// charge env's scope and the writes abort once env's context is cancelled.
+func WriteAllEnv[T any](env Env, c Codec[T], vs []T) (*File, error) {
+	return writeAll(env.NewFile(), c, vs)
+}
+
+// writeAll fills f with vs, releasing the partial output on every error —
+// without this, an error mid-write (a cancelled context, a full backing
+// file) would strand the blocks already flushed.
+func writeAll[T any](f *File, c Codec[T], vs []T) (_ *File, err error) {
+	defer func() {
+		if err != nil {
+			_ = f.Release()
+		}
+	}()
 	w, err := NewRecordWriter(f, c)
 	if err != nil {
 		return nil, err
@@ -478,12 +539,26 @@ func ReadAll[T any](f *File, c Codec[T]) ([]T, error) {
 	return ReadAllScoped(f, c, f.scope)
 }
 
+// ReadAllEnv is ReadAll with the reads charged to env's scope and aborted
+// once env's context is cancelled.
+func ReadAllEnv[T any](env Env, f *File, c Codec[T]) ([]T, error) {
+	rr, err := OpenRecordReader(env, f, c)
+	if err != nil {
+		return nil, err
+	}
+	return readAll(rr, f, c)
+}
+
 // ReadAllScoped is ReadAll with the read transfers charged to sc.
 func ReadAllScoped[T any](f *File, c Codec[T], sc *ScopeStats) ([]T, error) {
 	rr, err := NewRecordReaderScoped(f, c, sc)
 	if err != nil {
 		return nil, err
 	}
+	return readAll(rr, f, c)
+}
+
+func readAll[T any](rr *RecordReader[T], f *File, c Codec[T]) ([]T, error) {
 	out := make([]T, 0, RecordCount(f, c.Size()))
 	batch := make([]T, 256)
 	for {

@@ -67,10 +67,16 @@ func fanInOf(env em.Env) int {
 	return fanIn
 }
 
-// sortAndSpill sorts one run buffer and writes it out as a run file.
+// sortAndSpill sorts one run buffer and writes it out as a run file. The
+// cancellation check runs before the in-memory sort — the one long
+// CPU-only stretch of run formation — and the spill writes themselves
+// abort at block granularity through the env-carried context.
 func sortAndSpill[T any](env em.Env, codec em.Codec[T], less func(a, b T) bool, buf []T) (*em.File, error) {
+	if err := env.Err(); err != nil {
+		return nil, err
+	}
 	sort.SliceStable(buf, func(i, j int) bool { return less(buf[i], buf[j]) })
-	return em.WriteAllScoped(env.Disk, env.Scope, codec, buf)
+	return em.WriteAllEnv(env, codec, buf)
 }
 
 // spiller owns the sort-and-spill worker pool shared by formRuns and
@@ -330,7 +336,7 @@ func formRuns[T any](env em.Env, in *em.File, codec em.Codec[T], less func(a, b 
 	if err != nil {
 		return nil, err
 	}
-	rr, err := em.NewRecordReaderScoped(in, codec, env.Scope)
+	rr, err := em.OpenRecordReader(env, in, codec)
 	if err != nil {
 		return nil, err
 	}
@@ -375,6 +381,10 @@ func (m *Merger[T]) Runs() int { return len(m.runs) }
 func (m *Merger[T]) Reduce() error {
 	fanIn := fanInOf(m.env)
 	for len(m.runs) > fanIn {
+		if err := m.env.Err(); err != nil {
+			_ = m.Release()
+			return err
+		}
 		next, err := mergeLevel(m.env, m.runs, m.codec, m.less, true, m.par)
 		if err != nil {
 			m.runs = nil // mergeLevel released everything

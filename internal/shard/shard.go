@@ -41,6 +41,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -144,7 +145,13 @@ func (r Result) Stats() em.Stats {
 // objFile are charged to env (and its scope, if any); each shard's
 // partition writes and solve are charged to its own disk and reported in
 // Result.Shards. The object file is not modified.
-func SolveObjects(env em.Env, objFile *em.File, w, h float64, cfg Config) (Result, error) {
+//
+// Cancelling ctx fans out to every layer of the solve: the planner's and
+// router's scans, each shard's partition writes, and all in-flight
+// per-shard ExactMaxRS solves abort within one block-transfer's work, and
+// every shard's private disk is closed (removing its backing temp file)
+// before SolveObjects returns ctx.Err(). A nil ctx never cancels.
+func SolveObjects(ctx context.Context, env em.Env, objFile *em.File, w, h float64, cfg Config) (Result, error) {
 	if err := env.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -154,6 +161,9 @@ func SolveObjects(env em.Env, objFile *em.File, w, h float64, cfg Config) (Resul
 	if cfg.Shards < 1 {
 		return Result{}, fmt.Errorf("shard: shard count %d must be ≥ 1", cfg.Shards)
 	}
+	if ctx != nil {
+		env = env.WithContext(ctx)
+	}
 	bounds, err := planBounds(env, objFile, cfg.Shards)
 	if err != nil {
 		return Result{}, err
@@ -162,7 +172,8 @@ func SolveObjects(env em.Env, objFile *em.File, w, h float64, cfg Config) (Resul
 	if err != nil {
 		return Result{}, err
 	}
-	// Shard disks are ephemeral: whatever happens below, close them all.
+	// Shard disks are ephemeral: whatever happens below — success, error,
+	// or a cancelled ctx — close them all before returning.
 	defer func() {
 		for _, sh := range shards {
 			_ = sh.env.Disk.Close()
@@ -183,7 +194,7 @@ func SolveObjects(env em.Env, objFile *em.File, w, h float64, cfg Config) (Resul
 		}
 	}
 	err = conc.ForEachIndexed(len(shards), workers, func(i int) error {
-		return shards[i].solve(w, h, coreCfg, &results[i])
+		return shards[i].solve(ctx, w, h, coreCfg, &results[i])
 	})
 	if err != nil {
 		return Result{}, err
@@ -219,14 +230,15 @@ type shard struct {
 
 // solve runs the shard's private ExactMaxRS and releases the partition
 // file on every path. Transfers land on the shard's own disk; per-shard
-// scoping is unnecessary because nothing else runs there.
-func (sh *shard) solve(w, h float64, cfg core.Config, out *sweep.Result) error {
+// scoping is unnecessary because nothing else runs there. The caller's
+// ctx bounds the solve, so one cancel stops every shard in flight.
+func (sh *shard) solve(ctx context.Context, w, h float64, cfg core.Config, out *sweep.Result) error {
 	defer sh.file.Release()
 	solver, err := core.NewSolver(sh.env, cfg)
 	if err != nil {
 		return err
 	}
-	res, err := solver.SolveObjects(sh.file, w, h)
+	res, err := solver.SolveObjectsScoped(ctx, sh.file, w, h, nil)
 	if err != nil {
 		return fmt.Errorf("shard %v: %w", sh.slab, err)
 	}
@@ -254,7 +266,7 @@ func planBounds(env em.Env, objFile *em.File, k int) ([]float64, error) {
 	if stride < 1 {
 		stride = 1
 	}
-	rr, err := em.NewRecordReaderScoped(objFile, rec.ObjectCodec{}, env.Scope)
+	rr, err := em.OpenRecordReader(env, objFile, rec.ObjectCodec{})
 	if err != nil {
 		return nil, err
 	}
@@ -317,7 +329,10 @@ func partition(env em.Env, objFile *em.File, bounds []float64, halfWidth float64
 		if err != nil {
 			return nil, err
 		}
-		shEnv := em.Env{Disk: disk, M: env.M}
+		// The shard env inherits the caller's ctx (one cancel reaches the
+		// partition writers too) but not its scope: shard-disk traffic is
+		// accounted via Disk.Stats and folded in by the caller.
+		shEnv := em.Env{Disk: disk, M: env.M, Ctx: env.Ctx}
 		sh := &shard{env: shEnv, file: shEnv.NewFile(), slab: slabOf(bounds, i)}
 		shards = append(shards, sh) // before Validate: the defer owns the disk now
 		if err := shEnv.Validate(); err != nil {
@@ -328,7 +343,7 @@ func partition(env em.Env, objFile *em.File, bounds []float64, halfWidth float64
 			return nil, err
 		}
 	}
-	rr, err := em.NewRecordReaderScoped(objFile, rec.ObjectCodec{}, env.Scope)
+	rr, err := em.OpenRecordReader(env, objFile, rec.ObjectCodec{})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -66,7 +67,7 @@ func TestEquivalenceAcrossShardCounts(t *testing.T) {
 				t.Fatalf("degenerate reference score %g", want.Sum)
 			}
 			for _, k := range []int{1, 2, 4, 8} {
-				res, err := SolveObjects(env, f, edge, edge, Config{Shards: k})
+				res, err := SolveObjects(context.Background(), env, f, edge, edge, Config{Shards: k})
 				if err != nil {
 					t.Fatalf("K=%d: %v", k, err)
 				}
@@ -98,7 +99,7 @@ func TestSingleShardBitIdentical(t *testing.T) {
 	f := writeObjects(t, env, objs)
 	defer f.Release()
 	want := solveUnsharded(t, env, f, 300, 300)
-	res, err := SolveObjects(env, f, 300, 300, Config{Shards: 1})
+	res, err := SolveObjects(context.Background(), env, f, 300, 300, Config{Shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestStraddlingOptimum(t *testing.T) {
 		t.Fatalf("reference score %g, want the full 20-point cluster", want.Sum)
 	}
 	for _, k := range []int{2, 3, 5, 8} {
-		res, err := SolveObjects(env, f, 30, 30, Config{Shards: k})
+		res, err := SolveObjects(context.Background(), env, f, 30, 30, Config{Shards: k})
 		if err != nil {
 			t.Fatalf("K=%d: %v", k, err)
 		}
@@ -175,7 +176,7 @@ func TestMoreShardsThanDistinctX(t *testing.T) {
 	defer f.Release()
 	want := solveUnsharded(t, env, f, 25, 8)
 	for _, k := range []int{4, 8, 16} {
-		res, err := SolveObjects(env, f, 25, 8, Config{Shards: k})
+		res, err := SolveObjects(context.Background(), env, f, 25, 8, Config{Shards: k})
 		if err != nil {
 			t.Fatalf("K=%d: %v", k, err)
 		}
@@ -202,7 +203,7 @@ func TestWeightedEquivalence(t *testing.T) {
 	defer f.Release()
 	want := solveUnsharded(t, env, f, 400, 400)
 	for _, k := range []int{2, 4, 8} {
-		res, err := SolveObjects(env, f, 400, 400, Config{Shards: k})
+		res, err := SolveObjects(context.Background(), env, f, 400, 400, Config{Shards: k})
 		if err != nil {
 			t.Fatalf("K=%d: %v", k, err)
 		}
@@ -221,7 +222,7 @@ func TestWideQueryReplicatesEverywhere(t *testing.T) {
 	defer env.Disk.Close()
 	f := writeObjects(t, env, objs)
 	defer f.Release()
-	res, err := SolveObjects(env, f, 1000, 1000, Config{Shards: 4})
+	res, err := SolveObjects(context.Background(), env, f, 1000, 1000, Config{Shards: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestEmptyDataset(t *testing.T) {
 	defer env.Disk.Close()
 	f := writeObjects(t, env, nil)
 	defer f.Release()
-	res, err := SolveObjects(env, f, 10, 10, Config{Shards: 4})
+	res, err := SolveObjects(context.Background(), env, f, 10, 10, Config{Shards: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestNoLeaksOnPrimaryDisk(t *testing.T) {
 	f := writeObjects(t, env, objs)
 	defer f.Release()
 	before := env.Disk.InUse()
-	if _, err := SolveObjects(env, f, 200, 200, Config{Shards: 4}); err != nil {
+	if _, err := SolveObjects(context.Background(), env, f, 200, 200, Config{Shards: 4}); err != nil {
 		t.Fatal(err)
 	}
 	if after := env.Disk.InUse(); after != before {
@@ -281,7 +282,7 @@ func TestScopeChargesPrimaryScans(t *testing.T) {
 	f := writeObjects(t, env, objs)
 	defer f.Release()
 	sc := new(em.ScopeStats)
-	res, err := SolveObjects(env.WithScope(sc), f, 250, 250, Config{Shards: 3})
+	res, err := SolveObjects(context.Background(), env.WithScope(sc), f, 250, 250, Config{Shards: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +333,7 @@ func TestSlabsPartitionCenterSpace(t *testing.T) {
 	objs := workload.Gaussian(37, 2000, 10000)
 	f := writeObjects(t, env, objs)
 	defer f.Release()
-	res, err := SolveObjects(env, f, 100, 100, Config{Shards: 5})
+	res, err := SolveObjects(context.Background(), env, f, 100, 100, Config{Shards: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,10 +357,10 @@ func TestConfigValidation(t *testing.T) {
 	defer env.Disk.Close()
 	f := writeObjects(t, env, workload.Uniform(41, 50, 100))
 	defer f.Release()
-	if _, err := SolveObjects(env, f, 10, 10, Config{Shards: 0}); err == nil {
+	if _, err := SolveObjects(context.Background(), env, f, 10, 10, Config{Shards: 0}); err == nil {
 		t.Error("Shards=0 accepted")
 	}
-	if _, err := SolveObjects(env, f, 0, 10, Config{Shards: 2}); err == nil {
+	if _, err := SolveObjects(context.Background(), env, f, 0, 10, Config{Shards: 2}); err == nil {
 		t.Error("zero-width query accepted")
 	}
 	if before := env.Disk.InUse(); before != f.Blocks() {
@@ -377,7 +378,7 @@ func TestNegativeWeightRejected(t *testing.T) {
 	f := writeObjects(t, env, objs)
 	defer f.Release()
 	before := env.Disk.InUse()
-	_, err := SolveObjects(env, f, 50, 50, Config{Shards: 3})
+	_, err := SolveObjects(context.Background(), env, f, 50, 50, Config{Shards: 3})
 	if !errors.Is(err, ErrNegativeWeight) {
 		t.Fatalf("err = %v, want ErrNegativeWeight", err)
 	}

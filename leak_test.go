@@ -2,6 +2,7 @@ package maxrs
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"math"
 	"os"
@@ -107,7 +108,7 @@ func TestQueryErrorLeaksNothing(t *testing.T) {
 			defer e.Close()
 			d := corruptDataset(t, e)
 			base := e.BlocksInUse()
-			if _, err := e.MaxRS(d, 10, 10); err == nil {
+			if _, err := e.MaxRS(context.Background(), d, 10, 10); err == nil {
 				t.Fatal("MaxRS on corrupt dataset must fail")
 			}
 			wantInUse(t, e, base, "after failed MaxRS")
@@ -117,19 +118,19 @@ func TestQueryErrorLeaksNothing(t *testing.T) {
 	e := newLeakEngine(t)
 	d := corruptDataset(t, e)
 	base := e.BlocksInUse()
-	if _, err := e.MinRS(d, 10, 10); err == nil {
+	if _, err := e.MinRS(context.Background(), d, 10, 10); err == nil {
 		t.Fatal("MinRS must fail")
 	}
 	wantInUse(t, e, base, "after failed MinRS")
-	if _, err := e.CountRS(d, 10, 10); err == nil {
+	if _, err := e.CountRS(context.Background(), d, 10, 10); err == nil {
 		t.Fatal("CountRS must fail")
 	}
 	wantInUse(t, e, base, "after failed CountRS")
-	if _, err := e.TopK(d, 10, 10, 3); err == nil {
+	if _, err := e.TopK(context.Background(), d, 10, 10, 3); err == nil {
 		t.Fatal("TopK must fail")
 	}
 	wantInUse(t, e, base, "after failed TopK")
-	if _, err := e.MaxCRS(d, 10); err == nil {
+	if _, err := e.MaxCRS(context.Background(), d, 10); err == nil {
 		t.Fatal("MaxCRS must fail")
 	}
 	wantInUse(t, e, base, "after failed MaxCRS")
@@ -147,22 +148,22 @@ func TestOneShotCleansUpOnDisk(t *testing.T) {
 	opts := &Options{OnDisk: true, OnDiskDir: dir}
 	objs := []Object{{X: 1, Y: 1, Weight: 1}, {X: 2, Y: 2, Weight: 1}}
 
-	if _, err := MaxRS(objs, 4, 4, opts); err != nil {
+	if _, err := MaxRS(context.Background(), objs, 4, 4, opts); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := MaxRS([]Object{{X: math.Inf(1)}}, 4, 4, opts); err == nil {
+	if _, err := MaxRS(context.Background(), []Object{{X: math.Inf(1)}}, 4, 4, opts); err == nil {
 		t.Fatal("load error expected")
 	}
-	if _, err := MaxRS(objs, -1, 4, opts); err == nil {
+	if _, err := MaxRS(context.Background(), objs, -1, 4, opts); err == nil {
 		t.Fatal("solve error expected")
 	}
-	if _, err := MaxCRS(objs, 4, opts); err != nil {
+	if _, err := MaxCRS(context.Background(), objs, 4, opts); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := MaxCRS([]Object{{X: math.NaN()}}, 4, opts); err == nil {
+	if _, err := MaxCRS(context.Background(), []Object{{X: math.NaN()}}, 4, opts); err == nil {
 		t.Fatal("load error expected")
 	}
-	if _, err := MaxCRS(objs, -2, opts); err == nil {
+	if _, err := MaxCRS(context.Background(), objs, -2, opts); err == nil {
 		t.Fatal("solve error expected")
 	}
 

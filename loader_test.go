@@ -1,6 +1,7 @@
 package maxrs
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -23,7 +24,7 @@ func TestLoadCSV(t *testing.T) {
 	if d.Len() != 3 {
 		t.Fatalf("Len = %d, want 3", d.Len())
 	}
-	res, err := e.MaxRS(d, 4, 4)
+	res, err := e.MaxRS(context.Background(), d, 4, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,11 +67,11 @@ func TestLoadCSVMatchesLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := e.MaxRS(d1, 10, 10)
+	r1, err := e.MaxRS(context.Background(), d1, 10, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := e.MaxRS(d2, 10, 10)
+	r2, err := e.MaxRS(context.Background(), d2, 10, 10)
 	if err != nil {
 		t.Fatal(err)
 	}

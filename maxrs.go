@@ -15,8 +15,15 @@
 // # Quick start
 //
 //	objs := []maxrs.Object{{X: 1, Y: 1, Weight: 1}, {X: 2, Y: 2, Weight: 1}}
-//	res, err := maxrs.MaxRS(objs, 4, 4, nil)
+//	res, err := maxrs.MaxRS(context.Background(), objs, 4, 4, nil)
 //	// res.Location is an optimal center; res.Score the covered weight.
+//
+// Every query takes a context.Context first: cancel it (or let its
+// deadline pass) and the query stops within one block-transfer's work,
+// releases everything it allocated, and returns an error matching both
+// ErrQueryCancelled and the context error. Variadic QueryOptions
+// (WithAlgorithm, WithShards, WithUnfused, WithParallelism) override the
+// engine defaults per call.
 //
 // # Algorithms
 //
@@ -33,6 +40,7 @@
 package maxrs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -86,6 +94,17 @@ type Result struct {
 	Region Rect
 	// Stats is the I/O cost of this query alone (see QueryStats).
 	Stats QueryStats
+	// Algorithm is the solver that actually ran. For MaxRS it is the
+	// resolved Options.Algorithm / WithAlgorithm; TopK, MinRS and CountRS
+	// always report ExactMaxRS (the only solver they use).
+	Algorithm Algorithm
+	// Shards is the effective shard count the query ran with: 0 for an
+	// unsharded solve, otherwise the number of shards actually planned
+	// (the planner may deduplicate below the requested count). It makes
+	// the silent fallbacks observable: a query requested sharded that
+	// reports Shards == 0 hit the negative-weight guard, a non-ExactMaxRS
+	// algorithm, or MinRS — no more inferring from a nil ShardStats.
+	Shards int
 	// ShardStats breaks Stats down per shard for sharded queries
 	// (Options.Shards / Dataset.SetShards): entry i is shard i's routed
 	// object count and the transfers of its private partition + solve.
@@ -278,6 +297,17 @@ func (s IOStats) Total() uint64 { return s.Reads + s.Writes }
 // query or load is in flight. ResetStats zeroes the disk-global counters
 // and therefore makes a concurrent Stats window meaningless, but it never
 // affects the per-query Stats in Results.
+//
+// # Cancellation
+//
+// Every query is bound to its ctx (DESIGN.md §10): cancellation
+// propagates through the solver recursion, the external sort, the disk
+// streams, and — for sharded queries — every shard's private solve, each
+// checking at block-transfer granularity. A cancelled query releases all
+// its intermediate files and shard disks (BlocksInUse drains to 0 once
+// every query has returned) and never perturbs concurrent queries or the
+// determinism of completed-query Stats; the transfers it charged before
+// the cancel remain in the engine-global totals.
 type Engine struct {
 	opts   Options
 	env    em.Env
@@ -291,11 +321,16 @@ type Engine struct {
 	shardWrites atomic.Uint64
 }
 
-// NewEngine validates opts and returns an Engine.
+// NewEngine validates opts and returns an Engine. Misconfiguration —
+// including an unknown Options.Algorithm — surfaces here, not on the
+// first query.
 func NewEngine(opts *Options) (*Engine, error) {
 	o := opts.withDefaults()
 	if o.Shards < 0 {
 		return nil, fmt.Errorf("maxrs: shard count %d must be ≥ 0", o.Shards)
+	}
+	if !validAlgorithm(o.Algorithm) {
+		return nil, fmt.Errorf("maxrs: unknown algorithm %v", o.Algorithm)
 	}
 	var (
 		env em.Env
@@ -439,15 +474,6 @@ func (d *Dataset) release() error {
 	return nil
 }
 
-// endQuery is the deferred tail of every query: it drops the dataset
-// reference and surfaces a final-free failure if the query itself
-// succeeded.
-func (d *Dataset) endQuery(err *error) {
-	if rerr := d.release(); rerr != nil && *err == nil {
-		*err = rerr
-	}
-}
-
 // Load writes objects to the engine's disk and returns the Dataset.
 // Loading is charged to the engine's I/O statistics; call ResetStats
 // afterwards to measure a query in isolation. Coordinates and weights
@@ -522,99 +548,195 @@ func (e *Engine) ResetStats() {
 // operational health check for long-running servers.
 func (e *Engine) BlocksInUse() int { return e.env.Disk.InUse() }
 
+// ErrQueryCancelled wraps the context error of every query abandoned by
+// cancellation or deadline: errors.Is(err, ErrQueryCancelled) identifies
+// "the caller gave up", and errors.Is(err, context.Canceled) (or
+// context.DeadlineExceeded) still matches the underlying cause. A
+// cancelled query stops within one block-transfer's work, releases every
+// intermediate file and shard disk it held (Engine.BlocksInUse drains to
+// 0), and leaves concurrent queries untouched — see DESIGN.md §10 for the
+// full contract.
+var ErrQueryCancelled = errors.New("maxrs: query cancelled")
+
+// wrapCancel marks an error caused by ctx cancellation with
+// ErrQueryCancelled, preserving the context error for errors.Is.
+func wrapCancel(err error) error {
+	if err == nil || errors.Is(err, ErrQueryCancelled) {
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrQueryCancelled, err)
+	}
+	return err
+}
+
+// query is one in-flight query: the unified request path every public
+// query method funnels through. It pins the resolved per-call settings
+// (engine defaults + QueryOptions), the cancellation context, the
+// per-query stat scope, and the core solver the call runs on, so the five
+// query kinds share one begin/solve/end shape.
+type query struct {
+	e      *Engine
+	ctx    context.Context
+	d      *Dataset
+	set    querySettings
+	sc     *em.ScopeStats
+	solver *core.Solver
+	par    int // resolved parallelism (≥ 1) for the shard worker budget
+}
+
+// begin opens the unified request path: it resolves the call's options
+// against the engine defaults, rejects an already-cancelled context
+// before any work, picks the solver, and acquires the dataset reference.
+// Every error that can be diagnosed without touching the disk surfaces
+// here. The caller must `defer q.end(&err)` on success.
+func (e *Engine) begin(ctx context.Context, d *Dataset, opts []QueryOption) (*query, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	set, err := e.resolveQuery(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, wrapCancel(err)
+	}
+	solver, par, err := e.solverFor(set)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.acquire(); err != nil {
+		return nil, err
+	}
+	return &query{e: e, ctx: ctx, d: d, set: set, sc: new(em.ScopeStats), solver: solver, par: par}, nil
+}
+
+// end is the deferred tail of every query: it drops the dataset
+// reference, surfaces a final-free failure if the query itself succeeded,
+// and wraps cancellation-caused failures in ErrQueryCancelled.
+func (q *query) end(err *error) {
+	if rerr := q.d.release(); rerr != nil && *err == nil {
+		*err = rerr
+	}
+	*err = wrapCancel(*err)
+}
+
+// env returns the engine env bound to this query's scope and context —
+// what every stream and sub-solver of the query runs under.
+func (q *query) env() em.Env {
+	return q.e.env.WithScope(q.sc).WithContext(q.ctx)
+}
+
+// result assembles a Result from a finished solve: geometry, per-query
+// stats, and the effective algorithm / shard count actually used.
+func (q *query) result(res sweep.Result, shards []ShardStat, alg Algorithm) Result {
+	out := fromSweep(res)
+	out.Stats = queryStatsOf(q.sc)
+	out.Algorithm = alg
+	out.Shards = len(shards)
+	out.ShardStats = shards
+	return out
+}
+
 // MaxRS finds a center location for a w×h rectangle maximizing the total
 // covered weight of the dataset. Safe to call concurrently with other
-// queries on the same engine and dataset.
-func (e *Engine) MaxRS(d *Dataset, w, h float64) (_ Result, err error) {
+// queries on the same engine and dataset. Cancelling ctx (or exceeding
+// its deadline) aborts the solve within one block-transfer's work,
+// releases every intermediate file, and returns an error matching both
+// ErrQueryCancelled and the context error. QueryOptions override the
+// engine defaults for this call only.
+func (e *Engine) MaxRS(ctx context.Context, d *Dataset, w, h float64, opts ...QueryOption) (_ Result, err error) {
 	if err := checkQuery(w, h); err != nil {
 		return Result{}, err
 	}
-	if err := d.acquire(); err != nil {
-		return Result{}, err
-	}
-	defer d.endQuery(&err)
-	sc := new(em.ScopeStats)
-	res, shards, err := e.maxRS(d, w, h, sc)
+	q, err := e.begin(ctx, d, opts)
 	if err != nil {
 		return Result{}, err
 	}
-	out := fromSweep(res)
-	out.Stats = queryStatsOf(sc)
-	out.ShardStats = shards
-	return out, nil
+	defer q.end(&err)
+	res, shards, alg, err := q.maxRS(w, h)
+	if err != nil {
+		return Result{}, err
+	}
+	return q.result(res, shards, alg), nil
 }
 
-// maxRS dispatches one already-acquired MaxRS solve, charging transfers
-// to sc. Only the ExactMaxRS algorithm honors sharding; the per-shard
-// breakdown (nil when unsharded) rides back alongside the result.
-func (e *Engine) maxRS(d *Dataset, w, h float64, sc *em.ScopeStats) (sweep.Result, []ShardStat, error) {
+// maxRS dispatches one already-begun MaxRS solve. Only the ExactMaxRS
+// algorithm honors sharding; the per-shard breakdown (nil when unsharded)
+// and the algorithm that ran ride back alongside the result.
+func (q *query) maxRS(w, h float64) (sweep.Result, []ShardStat, Algorithm, error) {
 	var (
 		res sweep.Result
 		err error
 	)
-	switch e.opts.Algorithm {
+	switch q.set.algorithm {
 	case ExactMaxRS:
-		return e.solveObjects(d.file, w, h, sc, e.shardsFor(d))
+		r, shards, err := q.solveObjects(q.d.file, w, h, q.shardsFor())
+		return r, shards, ExactMaxRS, err
 	case NaiveSweep:
-		res, err = baseline.NaiveSweep(e.env.WithScope(sc), d.file, w, h)
+		res, err = baseline.NaiveSweep(q.env(), q.d.file, w, h)
 	case ASBTree:
-		res, err = baseline.ASBTreeSweep(e.env.WithScope(sc), d.file, w, h)
+		res, err = baseline.ASBTreeSweep(q.env(), q.d.file, w, h)
 	case InMemory:
 		var objs []geom.Object
-		objs, err = readObjects(d, sc)
+		objs, err = readObjects(q.env(), q.d)
 		if err == nil {
 			res = sweep.MaxRS(objs, w, h)
 		}
 	default:
-		err = fmt.Errorf("maxrs: unknown algorithm %v", e.opts.Algorithm)
+		// Unreachable: NewEngine and WithAlgorithm validate. Tripwire.
+		err = fmt.Errorf("%w: unknown algorithm %v", ErrInvalidQuery, q.set.algorithm)
 	}
-	return res, nil, err
+	return res, nil, q.set.algorithm, err
 }
 
-// shardsFor resolves the shard count for a query on d: the dataset's
-// override when set, the engine's Options.Shards otherwise. Datasets
-// holding any negative weight always resolve to 0 (unsharded): a shard's
-// unrestricted optimum can land outside its slab, where missing
+// shardsFor resolves the shard count for this query: WithShards when
+// given, else the dataset's override, else the engine's Options.Shards.
+// Datasets holding any negative weight always resolve to 0 (unsharded): a
+// shard's unrestricted optimum can land outside its slab, where missing
 // negative-weight objects beyond the halo would inflate its local score
 // — the merge is only exact for nonnegative weights (DESIGN.md §9.3).
-func (e *Engine) shardsFor(d *Dataset) int {
-	if d.minW < 0 {
+func (q *query) shardsFor() int {
+	if q.d.minW < 0 {
 		return 0
 	}
-	return e.requestedShards(d)
+	return q.requestedShards()
 }
 
-// requestedShards is the resolution step alone — dataset override, then
-// engine default — without the weight-sign guard, for callers that solve
-// a weight-mapped copy whose shardability does not depend on d's own
-// weights (CountRS).
-func (e *Engine) requestedShards(d *Dataset) int {
-	if k := d.Shards(); k > 0 {
+// requestedShards is the resolution step alone — query option, dataset
+// override, engine default — without the weight-sign guard, for solves on
+// a weight-mapped copy whose shardability does not depend on the
+// dataset's own weights (CountRS).
+func (q *query) requestedShards() int {
+	if q.set.shardsSet {
+		return q.set.shards
+	}
+	if k := q.d.Shards(); k > 0 {
 		return k
 	}
-	return e.opts.Shards
+	return q.e.opts.Shards
 }
 
 // solveObjects runs one ExactMaxRS object solve, sharded K ways when
 // k ≥ 1 (0 = the plain single-solver path). All transfers — the primary
 // disk's and, for sharded solves, the ephemeral shard disks' — are
-// charged to sc and to the engine-global totals, keeping both accounting
-// contracts intact (DESIGN.md §7.2, §9).
-func (e *Engine) solveObjects(f *em.File, w, h float64, sc *em.ScopeStats, k int) (sweep.Result, []ShardStat, error) {
+// charged to the query scope and to the engine-global totals, keeping
+// both accounting contracts intact (DESIGN.md §7.2, §9).
+func (q *query) solveObjects(f *em.File, w, h float64, k int) (sweep.Result, []ShardStat, error) {
 	if k < 1 {
-		res, err := e.solver.SolveObjectsScoped(f, w, h, sc)
+		res, err := q.solver.SolveObjectsScoped(q.ctx, f, w, h, q.sc)
 		return res, nil, err
 	}
 	// Shard-level fan-out replaces slab-level fan-out as the outer
-	// parallelism: the shard pool is bounded by the engine's resolved
-	// Parallelism, and the shard layer splits that budget evenly over
+	// parallelism: the shard pool is bounded by the query's resolved
+	// parallelism, and the shard layer splits that budget evenly over
 	// the effective shard count (Core.Parallelism left zero), so a
 	// sharded query never runs more workers than an unsharded one.
-	r, err := shard.SolveObjects(e.env.WithScope(sc), f, w, h, shard.Config{
+	r, err := shard.SolveObjects(q.ctx, q.e.env.WithScope(q.sc), f, w, h, shard.Config{
 		Shards:  k,
-		Workers: e.par,
-		Core:    core.Config{Fanout: e.opts.Fanout, Unfused: e.opts.Unfused},
-		NewDisk: e.newShardDisk,
+		Workers: q.par,
+		Core:    core.Config{Fanout: q.e.opts.Fanout, Unfused: q.set.unfused},
+		NewDisk: q.e.newShardDisk,
 	})
 	if err != nil {
 		return sweep.Result{}, nil, err
@@ -627,9 +749,9 @@ func (e *Engine) solveObjects(f *em.File, w, h float64, sc *em.ScopeStats, k int
 		}
 	}
 	ext := r.Stats()
-	sc.Add(ext)
-	e.shardReads.Add(ext.Reads)
-	e.shardWrites.Add(ext.Writes)
+	q.sc.Add(ext)
+	q.e.shardReads.Add(ext.Reads)
+	q.e.shardWrites.Add(ext.Writes)
 	return r.Res, stats, nil
 }
 
@@ -665,8 +787,8 @@ func checkQuery(w, h float64) error {
 	return nil
 }
 
-func readObjects(d *Dataset, sc *em.ScopeStats) ([]geom.Object, error) {
-	recs, err := em.ReadAllScoped(d.file, rec.ObjectCodec{}, sc)
+func readObjects(env em.Env, d *Dataset) ([]geom.Object, error) {
+	recs, err := em.ReadAllEnv(env, d.file, rec.ObjectCodec{})
 	if err != nil {
 		return nil, err
 	}
@@ -690,10 +812,11 @@ func fromSweep(res sweep.Result) Result {
 }
 
 // MaxRS is the one-shot convenience form: it builds a default engine
-// (paper-default EM parameters, or opts), loads objs, solves, and closes
-// the engine on every path — with Options.OnDisk the backing temp file is
-// removed even when loading or solving fails.
-func MaxRS(objs []Object, w, h float64, opts *Options) (_ Result, err error) {
+// (paper-default EM parameters, or opts), loads objs, solves under ctx,
+// and closes the engine on every path — with Options.OnDisk the backing
+// temp file is removed even when loading, solving, or cancellation fails
+// the call.
+func MaxRS(ctx context.Context, objs []Object, w, h float64, opts *Options, qopts ...QueryOption) (_ Result, err error) {
 	e, err := NewEngine(opts)
 	if err != nil {
 		return Result{}, err
@@ -703,7 +826,7 @@ func MaxRS(objs []Object, w, h float64, opts *Options) (_ Result, err error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return e.MaxRS(d, w, h)
+	return e.MaxRS(ctx, d, w, h, qopts...)
 }
 
 // closeEngine is the deferred tail of the one-shot forms: it closes the

@@ -1,6 +1,7 @@
 package maxrs
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -16,7 +17,7 @@ func cluster(cx, cy float64, n int, w float64) []Object {
 
 func TestMaxRSQuickstart(t *testing.T) {
 	objs := append(cluster(10, 10, 6, 1), cluster(100, 100, 3, 1)...)
-	res, err := MaxRS(objs, 5, 5, nil)
+	res, err := MaxRS(context.Background(), objs, 5, 5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,13 +31,13 @@ func TestMaxRSQuickstart(t *testing.T) {
 
 func TestMaxRSValidation(t *testing.T) {
 	objs := []Object{{X: 1, Y: 1, Weight: 1}}
-	if _, err := MaxRS(objs, 0, 5, nil); err == nil {
+	if _, err := MaxRS(context.Background(), objs, 0, 5, nil); err == nil {
 		t.Fatal("zero width must fail")
 	}
-	if _, err := MaxRS(objs, 5, math.Inf(1), nil); err == nil {
+	if _, err := MaxRS(context.Background(), objs, 5, math.Inf(1), nil); err == nil {
 		t.Fatal("infinite height must fail")
 	}
-	if _, err := MaxRS([]Object{{X: math.NaN(), Y: 0, Weight: 1}}, 5, 5, nil); err == nil {
+	if _, err := MaxRS(context.Background(), []Object{{X: math.NaN(), Y: 0, Weight: 1}}, 5, 5, nil); err == nil {
 		t.Fatal("NaN coordinates must fail")
 	}
 	if _, err := NewEngine(&Options{BlockSize: 100, Memory: 100}); err == nil {
@@ -65,7 +66,7 @@ func TestEngineStatsAndReuse(t *testing.T) {
 	if got := e.Stats().Total(); got != 0 {
 		t.Fatalf("stats after reset = %d", got)
 	}
-	r1, err := e.MaxRS(d, 100, 100)
+	r1, err := e.MaxRS(context.Background(), d, 100, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestEngineStatsAndReuse(t *testing.T) {
 		t.Fatal("ExactMaxRS on an out-of-core dataset reported zero I/O")
 	}
 	// The dataset is reusable: a second identical query gives the same answer.
-	r2, err := e.MaxRS(d, 100, 100)
+	r2, err := e.MaxRS(context.Background(), d, 100, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestAlgorithmsAgree(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := e.MaxRS(d, 20, 20)
+		res, err := e.MaxRS(context.Background(), d, 20, 20)
 		if err != nil {
 			t.Fatalf("%v: %v", alg, err)
 		}
@@ -133,7 +134,7 @@ func TestAlgorithmString(t *testing.T) {
 
 func TestMaxCRS(t *testing.T) {
 	objs := append(cluster(50, 50, 5, 1), Object{X: 500, Y: 500, Weight: 1})
-	res, err := MaxCRS(objs, 10, nil)
+	res, err := MaxCRS(context.Background(), objs, 10, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestMaxCRS(t *testing.T) {
 	if 4*res.Score < exact.Score {
 		t.Fatalf("approx %g violates 1/4 bound of %g", res.Score, exact.Score)
 	}
-	if _, err := MaxCRS(objs, -1, nil); err == nil {
+	if _, err := MaxCRS(context.Background(), objs, -1, nil); err == nil {
 		t.Fatal("negative diameter must fail")
 	}
 	if _, err := MaxCRSExact(objs, 0); err == nil {
@@ -175,7 +176,7 @@ func TestTopK(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := e.TopK(d, 6, 6, 3)
+	results, err := e.TopK(context.Background(), d, 6, 6, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,14 +190,14 @@ func TestTopK(t *testing.T) {
 		}
 	}
 	// k larger than available clusters: stops early.
-	results, err = e.TopK(d, 6, 6, 10)
+	results, err = e.TopK(context.Background(), d, 6, 6, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(results) != 3 {
 		t.Fatalf("got %d results, want 3 (early stop)", len(results))
 	}
-	if _, err := e.TopK(d, 6, 6, 0); err == nil {
+	if _, err := e.TopK(context.Background(), d, 6, 6, 0); err == nil {
 		t.Fatal("k=0 must fail")
 	}
 }
@@ -215,7 +216,7 @@ func TestMinRS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.MinRS(d, 4, 4)
+	res, err := e.MinRS(context.Background(), d, 4, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,14 +243,14 @@ func TestCountRS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sum, err := e.MaxRS(d, 4, 4)
+	sum, err := e.MaxRS(context.Background(), d, 4, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sum.Score != 200 {
 		t.Fatalf("SUM score = %g, want 200", sum.Score)
 	}
-	count, err := e.CountRS(d, 4, 4)
+	count, err := e.CountRS(context.Background(), d, 4, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +289,7 @@ func TestOnDiskEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := e.MaxRS(d, 200, 200)
+	got, err := e.MaxRS(context.Background(), d, 200, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +302,7 @@ func TestOnDiskEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := e2.MaxRS(d2, 200, 200)
+	want, err := e2.MaxRS(context.Background(), d2, 200, 200)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,138 @@
+package maxrs
+
+import (
+	"fmt"
+	"runtime"
+
+	"maxrs/internal/core"
+)
+
+// A QueryOption overrides one engine default for a single query. Every
+// query method (Engine.MaxRS, MaxCRS, TopK, MinRS, CountRS and the
+// one-shot forms) accepts a variadic tail of QueryOptions; the engine's
+// Options keep the defaults, the query decides. Options are resolved per
+// call, so one engine can serve diverse workloads — an ablation query with
+// WithUnfused(true) next to production traffic, a huge dataset with
+// WithShards(8) next to small ones — without rebuilding anything.
+//
+// Invalid values (an unknown Algorithm, a negative shard count) fail the
+// query with an error wrapping ErrInvalidQuery before any work starts.
+type QueryOption func(*querySettings) error
+
+// WithAlgorithm overrides Options.Algorithm for one query. Only MaxRS
+// honors it (exactly like the engine-level default: TopK, MinRS and
+// CountRS always solve with ExactMaxRS, and MaxCRS's rectangle transform
+// is ExactMaxRS by construction).
+func WithAlgorithm(a Algorithm) QueryOption {
+	return func(q *querySettings) error {
+		if !validAlgorithm(a) {
+			return fmt.Errorf("%w: unknown algorithm %v", ErrInvalidQuery, a)
+		}
+		q.algorithm = a
+		return nil
+	}
+}
+
+// WithShards overrides the shard count for one query, taking precedence
+// over both Dataset.SetShards and Options.Shards (0 = unsharded, 1 = the
+// degenerate single-shard path, K ≥ 2 shards K ways — DESIGN.md §9). The
+// exactness guards still apply: datasets holding a negative weight and
+// MinRS queries always run unsharded, and non-ExactMaxRS algorithms
+// ignore sharding; Result.Shards reports what actually ran.
+func WithShards(k int) QueryOption {
+	return func(q *querySettings) error {
+		if k < 0 {
+			return fmt.Errorf("%w: shard count %d must be ≥ 0", ErrInvalidQuery, k)
+		}
+		q.shards = k
+		q.shardsSet = true
+		return nil
+	}
+}
+
+// WithUnfused overrides Options.Unfused for one query (DESIGN.md §8):
+// true restores the materialize-sort-reread root pipeline, false forces
+// the fused default. Results are bit-identical either way; only the
+// transfer count differs. Intended for ablation and A/B measurement
+// against live traffic.
+func WithUnfused(unfused bool) QueryOption {
+	return func(q *querySettings) error {
+		q.unfused = unfused
+		return nil
+	}
+}
+
+// WithParallelism overrides Options.Parallelism for one query (0 =
+// GOMAXPROCS, 1 = sequential). A query running with the engine's default
+// parallelism shares the engine-wide worker pool; an overridden query
+// gets its own pool bounded by the override, so one heavy caller can be
+// throttled to WithParallelism(1) without starving the shared pool.
+// Results and counted transfers are identical for every value.
+func WithParallelism(p int) QueryOption {
+	return func(q *querySettings) error {
+		if p < 0 {
+			return fmt.Errorf("%w: parallelism %d must be ≥ 0", ErrInvalidQuery, p)
+		}
+		q.parallelism = p
+		return nil
+	}
+}
+
+// querySettings is the per-query resolution of the engine Options and the
+// call's QueryOptions.
+type querySettings struct {
+	algorithm   Algorithm
+	shards      int  // meaningful only when shardsSet
+	shardsSet   bool // WithShards given: overrides dataset and engine
+	unfused     bool
+	parallelism int // unresolved (0 = GOMAXPROCS), as in Options
+}
+
+// validAlgorithm reports whether a names a known solver.
+func validAlgorithm(a Algorithm) bool {
+	switch a {
+	case ExactMaxRS, NaiveSweep, ASBTree, InMemory:
+		return true
+	}
+	return false
+}
+
+// resolveQuery folds the call's options over the engine defaults.
+func (e *Engine) resolveQuery(opts []QueryOption) (querySettings, error) {
+	set := querySettings{
+		algorithm:   e.opts.Algorithm,
+		unfused:     e.opts.Unfused,
+		parallelism: e.opts.Parallelism,
+	}
+	for _, opt := range opts {
+		if err := opt(&set); err != nil {
+			return querySettings{}, err
+		}
+	}
+	return set, nil
+}
+
+// solverFor returns the core solver a query with these settings runs on:
+// the engine's shared solver (and its shared worker pool) when the
+// core-relevant settings match the engine defaults, or a transient
+// per-query solver otherwise. A transient solver is two allocations — the
+// cost sits entirely in the solve. The resolved parallelism (≥ 1) rides
+// along for the shard layer's worker budget.
+func (e *Engine) solverFor(set querySettings) (*core.Solver, int, error) {
+	if set.unfused == e.opts.Unfused && set.parallelism == e.opts.Parallelism {
+		return e.solver, e.par, nil
+	}
+	s, err := core.NewSolver(e.env, core.Config{
+		Fanout:      e.opts.Fanout,
+		Parallelism: set.parallelism,
+		Unfused:     set.unfused,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	par := set.parallelism
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	return s, par, nil
+}

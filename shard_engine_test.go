@@ -1,6 +1,7 @@
 package maxrs
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -30,7 +31,7 @@ func newShardTestEngine(t *testing.T, opts Options) *Engine {
 func TestEngineShardedEquivalence(t *testing.T) {
 	ref := newShardTestEngine(t, Options{})
 	dRef := testDataset(t, ref, 500)
-	want, err := ref.MaxRS(dRef, 300, 300)
+	want, err := ref.MaxRS(context.Background(), dRef, 300, 300)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestEngineShardedEquivalence(t *testing.T) {
 		t.Run(fmt.Sprintf("K=%d", k), func(t *testing.T) {
 			e := newShardTestEngine(t, Options{Shards: k})
 			d := testDataset(t, e, 500)
-			got, err := e.MaxRS(d, 300, 300)
+			got, err := e.MaxRS(context.Background(), d, 300, 300)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -83,7 +84,7 @@ func TestEngineShardStatsInGlobalTotals(t *testing.T) {
 	e := newShardTestEngine(t, Options{Shards: 4})
 	d := testDataset(t, e, 500)
 	e.ResetStats()
-	res, err := e.MaxRS(d, 300, 300)
+	res, err := e.MaxRS(context.Background(), d, 300, 300)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,14 +105,14 @@ func TestEngineShardStatsInGlobalTotals(t *testing.T) {
 func TestDatasetSetShards(t *testing.T) {
 	e := newShardTestEngine(t, Options{})
 	d := testDataset(t, e, 400)
-	want, err := e.MaxRS(d, 250, 250)
+	want, err := e.MaxRS(context.Background(), d, 250, 250)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := d.SetShards(3); err != nil {
 		t.Fatal(err)
 	}
-	got, err := e.MaxRS(d, 250, 250)
+	got, err := e.MaxRS(context.Background(), d, 250, 250)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestDatasetSetShards(t *testing.T) {
 	if err := d.SetShards(0); err != nil {
 		t.Fatal(err)
 	}
-	got, err = e.MaxRS(d, 250, 250)
+	got, err = e.MaxRS(context.Background(), d, 250, 250)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,11 +148,11 @@ func TestShardedExtensions(t *testing.T) {
 	dRef := testDataset(t, ref, 400)
 	d := testDataset(t, e, 400)
 
-	wantMin, err := ref.MinRS(dRef, 200, 200)
+	wantMin, err := ref.MinRS(context.Background(), dRef, 200, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotMin, err := e.MinRS(d, 200, 200)
+	gotMin, err := e.MinRS(context.Background(), d, 200, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,11 +165,11 @@ func TestShardedExtensions(t *testing.T) {
 		t.Error("MinRS must not shard (negated weights)")
 	}
 
-	wantCount, err := ref.CountRS(dRef, 200, 200)
+	wantCount, err := ref.CountRS(context.Background(), dRef, 200, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotCount, err := e.CountRS(d, 200, 200)
+	gotCount, err := e.CountRS(context.Background(), d, 200, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,11 +177,11 @@ func TestShardedExtensions(t *testing.T) {
 		t.Errorf("CountRS: %g != %g", gotCount.Score, wantCount.Score)
 	}
 
-	wantTop, err := ref.TopK(dRef, 200, 200, 3)
+	wantTop, err := ref.TopK(context.Background(), dRef, 200, 200, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotTop, err := e.TopK(d, 200, 200, 3)
+	gotTop, err := e.TopK(context.Background(), d, 200, 200, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestShardedExtensions(t *testing.T) {
 func TestConcurrentShardedQueries(t *testing.T) {
 	e := newShardTestEngine(t, Options{Shards: 3, Parallelism: 4})
 	d := testDataset(t, e, 500)
-	want, err := e.MaxRS(d, 300, 300)
+	want, err := e.MaxRS(context.Background(), d, 300, 300)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestConcurrentShardedQueries(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			got, err := e.MaxRS(d, 300, 300)
+			got, err := e.MaxRS(context.Background(), d, 300, 300)
 			if err != nil {
 				errs[g] = err
 				return
@@ -261,7 +262,7 @@ func TestNegativeWeightsFallBackUnsharded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := ref.MaxRS(dRef, 4, 4)
+	want, err := ref.MaxRS(context.Background(), dRef, 4, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestNegativeWeightsFallBackUnsharded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := e.MaxRS(d, 4, 4)
+	got, err := e.MaxRS(context.Background(), d, 4, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +282,7 @@ func TestNegativeWeightsFallBackUnsharded(t *testing.T) {
 		t.Fatal("negative-weight dataset was sharded")
 	}
 	// TopK rides the same guard.
-	top, err := e.TopK(d, 4, 4, 2)
+	top, err := e.TopK(context.Background(), d, 4, 4, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +292,7 @@ func TestNegativeWeightsFallBackUnsharded(t *testing.T) {
 		}
 	}
 	// CountRS maps weights to 1 and may shard regardless.
-	cnt, err := e.CountRS(d, 4, 4)
+	cnt, err := e.CountRS(context.Background(), d, 4, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,13 +307,13 @@ func TestNegativeWeightsFallBackUnsharded(t *testing.T) {
 func TestShardedOnDisk(t *testing.T) {
 	mem := newShardTestEngine(t, Options{Shards: 4})
 	dMem := testDataset(t, mem, 500)
-	want, err := mem.MaxRS(dMem, 300, 300)
+	want, err := mem.MaxRS(context.Background(), dMem, 300, 300)
 	if err != nil {
 		t.Fatal(err)
 	}
 	disk := newShardTestEngine(t, Options{Shards: 4, OnDisk: true, OnDiskDir: t.TempDir()})
 	dDisk := testDataset(t, disk, 500)
-	got, err := disk.MaxRS(dDisk, 300, 300)
+	got, err := disk.MaxRS(context.Background(), dDisk, 300, 300)
 	if err != nil {
 		t.Fatal(err)
 	}
