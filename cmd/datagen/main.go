@@ -45,9 +45,14 @@ func main() {
 	}
 
 	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
 	fmt.Fprintf(w, "# %s dataset, %d objects, seed %d\n", *dist, len(objs), *seed)
 	for _, o := range objs {
 		fmt.Fprintf(w, "%g,%g,%g\n", o.X, o.Y, o.W)
+	}
+	// A deferred Flush would drop its error — and a failed flush means the
+	// emitted dataset is silently truncated.
+	if err := w.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -70,7 +70,7 @@ func parseLevels(s string) ([]int, error) {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "comma-separated: table2,table3,fig12,fig13,fig14,fig15,fig16,fig17,all,load,fusion,shard (load, fusion and shard are never part of all)")
+		exp        = flag.String("exp", "all", "comma-separated: table2,table3,fig12,fig13,fig14,fig15,fig16,fig17,all,load,fusion,shard,fault (load, fusion, shard and fault are never part of all)")
 		scale      = flag.Float64("scale", 1.0, "cardinality scale factor (1 = paper scale)")
 		bufscale   = flag.Float64("bufscale", 0, "buffer scale factor (default: same as -scale)")
 		seed       = flag.Int64("seed", 2012, "data generation seed")
@@ -174,6 +174,33 @@ func main() {
 			Series:    series,
 		})
 		delete(want, "shard")
+		if len(want) == 0 {
+			finish()
+			return
+		}
+		fmt.Println()
+	}
+	if want["fault"] {
+		n, mem := scaledWorkload()
+		start := time.Now()
+		series, err := runFault(faultConfig{
+			objects: n,
+			iters:   3,
+			seed:    *seed,
+			memory:  mem,
+			par:     *parallel,
+			out:     os.Stdout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fault: %v\n", err)
+			os.Exit(1)
+		}
+		summary.Experiments = append(summary.Experiments, jsonExperiment{
+			Name:      "fault",
+			ElapsedMS: time.Since(start).Milliseconds(),
+			Series:    series,
+		})
+		delete(want, "fault")
 		if len(want) == 0 {
 			finish()
 			return

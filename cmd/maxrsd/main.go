@@ -11,7 +11,10 @@
 //
 // API:
 //
-//	GET    /healthz                 liveness
+//	GET    /healthz                 liveness (alias of /livez)
+//	GET    /livez                   liveness: the process is up
+//	GET    /readyz                  readiness: 503 before the engine is up
+//	                                and while draining for shutdown
 //	GET    /stats                   global I/O counters, cache + leak gauges
 //	GET    /datasets                list loaded datasets
 //	PUT    /datasets/{name}         load CSV from the request body
@@ -23,6 +26,13 @@
 //	POST   /query                   {"dataset":"d","op":"maxrs","w":4,"h":4}
 //	                                {"dataset":"d","op":"topk","w":4,"h":4,"k":3}
 //	                                {"dataset":"d","op":"maxcrs","diameter":4}
+//	POST   /query?timeout=500ms     per-query deadline (504 on expiry;
+//	                                clamped to -timeout when set)
+//
+// Under overload the server degrades instead of queueing unboundedly:
+// once -workers queries execute and -queue more wait, further cache
+// misses are shed with 429 + Retry-After. Failed queries are never
+// cached.
 //
 // Every query result carries its own per-query I/O stats; /stats keeps
 // the disk-global totals. See README.md for a walkthrough.
@@ -30,6 +40,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -56,6 +67,12 @@ func main() {
 		onDiskDir = flag.String("ondiskdir", "", "directory for the -ondisk backing file (default: system temp)")
 		dataDir   = flag.String("datadir", "", "directory PUT /datasets/{name}?path= may read CSV files from (empty disables server-local loads)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline: in-flight queries get this long to finish before they are cancelled")
+		timeout   = flag.Duration("timeout", 0, "per-query deadline ceiling (0 = none; ?timeout= may tighten but not exceed it)")
+		queue     = flag.Int("queue", -1, "max queries waiting for a worker before shedding with 429 (-1 = 4×workers, 0 = shed once all workers busy)")
+		retries   = flag.Int("retries", 0, "retries per block transfer on transient storage faults and checksum mismatches (0 = fail fast)")
+		retryBase = flag.Duration("retrybase", time.Millisecond, "initial retry backoff (doubles per attempt)")
+		retryMax  = flag.Duration("retrymax", 100*time.Millisecond, "retry backoff cap (0 = uncapped)")
+		checksums = flag.Bool("checksums", false, "verify per-block CRC32C checksums on every read")
 	)
 	flag.Parse()
 	eng, err := maxrs.NewEngine(&maxrs.Options{
@@ -65,6 +82,12 @@ func main() {
 		OnDisk:      *onDisk,
 		OnDiskDir:   *onDiskDir,
 		Shards:      *shards,
+		Checksums:   *checksums,
+		Retry: maxrs.RetryPolicy{
+			MaxRetries: *retries,
+			BaseDelay:  *retryBase,
+			MaxDelay:   *retryMax,
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "maxrsd: %v\n", err)
@@ -72,6 +95,11 @@ func main() {
 	}
 	srv := newServer(eng, *workers, *cacheSize)
 	srv.dataDir = *dataDir
+	srv.timeout = *timeout
+	if *queue >= 0 {
+		srv.queue = *queue
+	}
+	srv.markReady()
 	log.Printf("maxrsd: listening on %s (workers=%d cache=%d B=%d M=%d)",
 		*addr, *workers, *cacheSize, *blockSize, *memory)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
@@ -87,6 +115,7 @@ func main() {
 	select {
 	case <-sigCtx.Done():
 		log.Printf("maxrsd: shutting down (draining up to %s)", *drain)
+		srv.startDrain() // /readyz goes 503 so balancers stop routing here
 		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		err := httpSrv.Shutdown(shutCtx)
 		cancel()
@@ -109,10 +138,7 @@ func main() {
 		}
 	case err2 = <-serveErr:
 	}
-	if cerr := eng.Close(); cerr != nil && err2 == nil {
-		err2 = cerr
-	}
-	if err2 != nil {
+	if err2 = errors.Join(err2, eng.Close()); err2 != nil {
 		log.Fatal(err2)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"maxrs"
 )
@@ -25,6 +26,23 @@ type server struct {
 	sem     chan struct{} // one slot per concurrently executing query
 	cache   *resultCache
 	dataDir string // root for ?path= loads; empty disables them
+
+	// queue bounds how many /query requests may wait for a worker beyond
+	// the pool itself: once workers+queue requests are in flight, further
+	// ones are shed immediately with 429 + Retry-After instead of queueing
+	// unboundedly (each queued request pins a goroutine, a connection, and
+	// a decoded body — unbounded queues turn overload into memory death).
+	queue    int
+	inflight atomic.Int64
+	// timeout is the per-query ceiling (-timeout): a ?timeout= request
+	// parameter may tighten it but never exceed it. 0 = no server ceiling.
+	timeout time.Duration
+
+	// ready/draining drive /readyz: not-ready until the engine is up
+	// (markReady), and again once shutdown starts (startDrain) — so a load
+	// balancer stops routing before the drain deadline cancels stragglers.
+	ready    atomic.Bool
+	draining atomic.Bool
 
 	// hardStop is the server-wide cancellation: every query runs under a
 	// context derived from both its request and hardStop, so a client
@@ -55,23 +73,70 @@ func newServer(eng *maxrs.Engine, workers, cacheSize int) *server {
 		eng:           eng,
 		sem:           make(chan struct{}, workers),
 		cache:         newResultCache(cacheSize),
+		queue:         4 * workers,
 		hardStop:      hardStop,
 		cancelQueries: cancel,
 		datasets:      make(map[string]*dsEntry),
 	}
 }
 
+// markReady flips /readyz to 200: the engine is up and serving.
+func (s *server) markReady() { s.ready.Store(true) }
+
+// startDrain flips /readyz to 503 ahead of shutdown, so load balancers
+// stop routing new queries while in-flight ones drain.
+func (s *server) startDrain() { s.draining.Store(true) }
+
+// admit claims an admission slot: at most workers+queue /query requests
+// may be in flight (executing or waiting for a worker). Returns false
+// when the request must be shed.
+func (s *server) admit() bool {
+	if s.inflight.Add(1) > int64(cap(s.sem)+s.queue) {
+		s.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+// done returns an admission slot.
+func (s *server) done() { s.inflight.Add(-1) }
+
 // queryContext derives one query's context: cancelled when the client
-// disconnects (or its request deadline passes), and when the server's
-// straggler cancellation fires during shutdown. The returned stop must be
-// called when the query finishes to release the AfterFunc.
-func (s *server) queryContext(r *http.Request) (context.Context, context.CancelFunc) {
-	ctx, cancel := context.WithCancel(r.Context())
+// disconnects, when the per-query timeout (if any) expires, and when the
+// server's straggler cancellation fires during shutdown. The returned
+// stop must be called when the query finishes to release the AfterFunc.
+func (s *server) queryContext(r *http.Request, timeout time.Duration) (context.Context, context.CancelFunc) {
+	var (
+		ctx    context.Context
+		cancel context.CancelFunc
+	)
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(r.Context(), timeout)
+	} else {
+		ctx, cancel = context.WithCancel(r.Context())
+	}
 	unhook := context.AfterFunc(s.hardStop, cancel)
 	return ctx, func() {
 		unhook()
 		cancel()
 	}
+}
+
+// queryTimeout resolves one request's effective timeout: ?timeout= when
+// given (a positive Go duration), clamped to the server's -timeout
+// ceiling; the ceiling alone otherwise. 0 = unbounded.
+func (s *server) queryTimeout(r *http.Request) (time.Duration, error) {
+	d := s.timeout
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		pd, err := time.ParseDuration(v)
+		if err != nil || pd <= 0 {
+			return 0, fmt.Errorf("bad timeout=%q: want a positive duration (e.g. 500ms)", v)
+		}
+		if d == 0 || pd < d {
+			d = pd
+		}
+	}
+	return d, nil
 }
 
 // openDataPath opens a ?path= request confined to the configured
@@ -86,7 +151,9 @@ func (s *server) openDataPath(path string) (*os.File, error) {
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /healthz", s.handleLivez) // backward-compatible alias
+	mux.HandleFunc("GET /livez", s.handleLivez)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /datasets", s.handleListDatasets)
 	mux.HandleFunc("PUT /datasets/{name}", s.handlePutDataset)
@@ -119,8 +186,22 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_, _ = w.Write(append(data, '\n'))
 }
 
-func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+// handleLivez is liveness: the process is up and serving HTTP. It stays
+// 200 through draining — restarting a server because it is shutting down
+// gracefully would defeat the drain.
+func (s *server) handleLivez(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleReadyz is readiness: 200 only while the engine is up and the
+// server is not draining, so load balancers route queries elsewhere
+// before shutdown cancels stragglers.
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() || s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
 }
 
 type statsResponse struct {
@@ -341,20 +422,44 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no dataset %q", req.Dataset)
 		return
 	}
+	// Validate before serving from cache: a malformed request is a 400
+	// even when an identical well-formed one was answered before.
+	timeout, err := s.queryTimeout(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	if resp, ok := s.cache.get(cacheKey(entry.gen, req)); ok {
 		resp.Cached = true
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
+	// Admission control: cache misses beyond the worker pool plus the
+	// bounded queue are shed immediately — a saturated server answers
+	// 429 in microseconds instead of letting every queued request pin a
+	// connection until its client gives up. Cache hits (above) bypass
+	// admission; serving them costs no engine work.
+	if !s.admit() {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests,
+			"server saturated: %d queries executing or queued; retry later", s.inflight.Load())
+		return
+	}
+	defer s.done()
 	// One context for the queue wait and the query itself: a client that
 	// disconnects while queued never occupies a worker, and one that
 	// disconnects mid-solve stops burning the engine within one
 	// block-transfer's work (the ctx is threaded through every layer of
-	// the solve — DESIGN.md §10).
-	ctx, stop := s.queryContext(r)
+	// the solve — DESIGN.md §10). The per-query timeout covers the queue
+	// wait too: time spent queued is time the client is already waiting.
+	ctx, stop := s.queryContext(r, timeout)
 	defer stop()
 	if err := s.acquire(ctx); err != nil {
-		httpError(w, http.StatusServiceUnavailable, "queue wait: %v", err)
+		code := http.StatusServiceUnavailable
+		if errors.Is(err, context.DeadlineExceeded) {
+			code = http.StatusGatewayTimeout
+		}
+		httpError(w, code, "queue wait: %v", err)
 		return
 	}
 	defer s.release()
@@ -370,7 +475,6 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// the engine call; ErrDatasetReleased then means "stale entry" — retry
 	// against the current registration, 404 only if the name is truly gone.
 	var resp queryResponse
-	var err error
 	for {
 		resp, err = s.runQuery(ctx, entry, req)
 		if err == nil || !errors.Is(err, maxrs.ErrDatasetReleased) {
@@ -388,11 +492,17 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, maxrs.ErrInvalidQuery), errors.Is(err, errUnknownOp):
 			code = http.StatusBadRequest
+		case errors.Is(err, context.DeadlineExceeded):
+			// The per-query timeout expired mid-solve (this arm must come
+			// before the cancellation one: the error matches both).
+			code = http.StatusGatewayTimeout
 		case errors.Is(err, maxrs.ErrQueryCancelled):
 			// A disconnected client never reads this; a shutdown-cancelled
 			// straggler gets an honest "try elsewhere".
 			code = http.StatusServiceUnavailable
 		}
+		// Failed queries are never cached: the next attempt recomputes
+		// rather than replaying a failure (or worse, a partial result).
 		httpError(w, code, "query: %v", err)
 		return
 	}

@@ -1,6 +1,7 @@
 package em
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -21,6 +22,14 @@ type backend interface {
 	grow(id BlockID) error
 	// Close releases backend resources.
 	Close() error
+}
+
+// blockFreer is the optional backend capability of dropping a released
+// block's storage immediately (memBackend, and any wrapper forwarding to
+// one). Disk.Free feature-tests for it so large intermediates are
+// collected even through a fault-injecting wrapper.
+type blockFreer interface {
+	free(id BlockID)
 }
 
 // memBackend keeps blocks in process memory.
@@ -111,12 +120,12 @@ func (fb *fileBackend) write(id BlockID, src []byte) error {
 	return err
 }
 
+// Close closes and removes the backing file. The remove runs even when
+// the close fails — leaking a temp file because close errored would turn
+// one fault into two — and both errors surface, joined.
 func (fb *fileBackend) Close() error {
 	name := fb.f.Name()
-	if err := fb.f.Close(); err != nil {
-		return err
-	}
-	return os.Remove(name)
+	return errors.Join(fb.f.Close(), os.Remove(name))
 }
 
 // NewFileBackedDisk returns a Disk whose blocks live in a temporary file

@@ -16,9 +16,33 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 	"sync/atomic"
 )
+
+// castagnoli is the CRC32C polynomial table (hardware-accelerated on
+// amd64/arm64) used for block checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// zeroPad feeds the implied zero padding of partial writes into the
+// checksum without materializing a full block of zeros per call.
+var zeroPad [4096]byte
+
+// crcPadded returns the CRC32C of src extended with zeros to blockSize —
+// the checksum of the block content a (possibly partial) write produces,
+// since both backends zero the remainder.
+func crcPadded(src []byte, blockSize int) uint32 {
+	sum := crc32.Update(0, castagnoli, src)
+	for rem := blockSize - len(src); rem > 0; rem -= len(zeroPad) {
+		n := rem
+		if n > len(zeroPad) {
+			n = len(zeroPad)
+		}
+		sum = crc32.Update(sum, castagnoli, zeroPad[:n])
+	}
+	return sum
+}
 
 // Common configuration errors.
 var (
@@ -91,7 +115,29 @@ type Disk struct {
 	pipelined  atomic.Bool
 	pipeReads  atomic.Uint64
 	pipeWrites atomic.Uint64
+
+	// retry is the policy for transient faults and checksum mismatches
+	// (DESIGN.md §11); nil means never retry. Retries count in the fault
+	// counters below, never in reads/writes — those tally successful
+	// transfers only, so the I/O metric of a fault-free run is
+	// bit-identical with any policy.
+	retry        atomic.Pointer[RetryPolicy]
+	readRetries  atomic.Uint64
+	writeRetries atomic.Uint64
+
+	// checksums enables per-block CRC32C verification: every successful
+	// write records the checksum of the block's full (padded) content in
+	// sums, every read verifies it. sums is guarded like live/gen and
+	// grown by Alloc; entry 0 means "no checksum recorded" (a block
+	// written while verification was off is not verified).
+	checksums     atomic.Bool
+	sums          []uint64
+	checksumFails atomic.Uint64
 }
+
+// sumRecorded flags a sums entry as holding a valid CRC32C in its low 32
+// bits.
+const sumRecorded = 1 << 32
 
 // NewDisk returns an in-memory Disk with the given block size in bytes.
 func NewDisk(blockSize int) (*Disk, error) {
@@ -157,6 +203,7 @@ func (d *Disk) Close() error {
 	d.mu.Lock()
 	d.live = nil
 	d.gen = nil
+	d.sums = nil
 	d.freeList = nil
 	d.liveCount.Store(0)
 	d.mu.Unlock()
@@ -172,10 +219,12 @@ func (d *Disk) Alloc() BlockID {
 	if n := len(d.freeList); n > 0 {
 		id = d.freeList[n-1]
 		d.freeList = d.freeList[:n-1]
+		d.sums[id] = 0 // fresh block, no checksum recorded yet
 	} else {
 		id = BlockID(len(d.live))
 		d.live = append(d.live, false)
 		d.gen = append(d.gen, 0)
+		d.sums = append(d.sums, 0)
 	}
 	if err := d.backend.grow(id); err != nil {
 		// Growth failures (disk full) surface on the next access; a full
@@ -199,19 +248,47 @@ func (d *Disk) Free(id BlockID) error {
 	d.gen[id]++
 	d.liveCount.Add(-1)
 	d.freeList = append(d.freeList, id)
-	if m, ok := d.backend.(*memBackend); ok {
+	if m, ok := d.backend.(blockFreer); ok {
 		m.free(id) // let large intermediates be collected
 	}
 	return nil
 }
 
 // ReadBlock copies block id into dst (len(dst) must be ≥ BlockSize) and
-// charges one read transfer.
+// charges one read transfer. Transient faults and checksum mismatches are
+// retried per the disk's RetryPolicy; a permanent fault (or exhausted
+// retries) surfaces as an error wrapping ErrIOFault or ErrBlockCorrupt.
+func (d *Disk) ReadBlock(id BlockID, dst []byte) error {
+	return d.readBlockCtx(nil, id, dst)
+}
+
+// readBlockCtx is ReadBlock with the retry backoff bound to ctx: once ctx
+// is cancelled, the retry loop aborts with the context error instead of
+// sleeping out its backoff. A nil ctx never cancels.
+func (d *Disk) readBlockCtx(ctx context.Context, id BlockID, dst []byte) error {
+	p := d.retryPolicy()
+	for attempt := 0; ; attempt++ {
+		err := d.readBlockOnce(id, dst)
+		if err == nil {
+			return nil
+		}
+		if attempt >= p.MaxRetries || !retryable(err) {
+			return err
+		}
+		d.readRetries.Add(1)
+		if serr := sleepCtx(ctx, p.delay(attempt)); serr != nil {
+			return serr
+		}
+	}
+}
+
+// readBlockOnce performs one read attempt with checksum verification.
 //
 // The read lock is held across the backend access: it excludes Alloc/Free
 // (which may move the backends' block tables) while still letting any
-// number of block transfers proceed concurrently.
-func (d *Disk) ReadBlock(id BlockID, dst []byte) error {
+// number of block transfers proceed concurrently. It is NOT held across
+// retry backoffs — a sleeping retry must never stall allocation.
+func (d *Disk) readBlockOnce(id BlockID, dst []byte) error {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if err := d.checkLocked(id); err != nil {
@@ -223,13 +300,50 @@ func (d *Disk) ReadBlock(id BlockID, dst []byte) error {
 	if err := d.backend.read(id, dst); err != nil {
 		return err
 	}
+	if d.checksums.Load() {
+		if want := d.sums[id]; want&sumRecorded != 0 {
+			if got := crc32.Checksum(dst[:d.blockSize], castagnoli); got != uint32(want) {
+				d.checksumFails.Add(1)
+				return fmt.Errorf("%w: block %d checksum mismatch (stored %08x, read %08x)",
+					ErrBlockCorrupt, id, uint32(want), got)
+			}
+		}
+	}
 	d.reads.Add(1)
 	return nil
 }
 
 // WriteBlock copies src (at most BlockSize bytes) into block id and charges
-// one write transfer.
+// one write transfer. Transient faults are retried per the disk's
+// RetryPolicy; permanent faults surface wrapping ErrIOFault.
 func (d *Disk) WriteBlock(id BlockID, src []byte) error {
+	return d.writeBlockCtx(nil, id, src)
+}
+
+// writeBlockCtx is WriteBlock with the retry backoff bound to ctx (see
+// readBlockCtx).
+func (d *Disk) writeBlockCtx(ctx context.Context, id BlockID, src []byte) error {
+	p := d.retryPolicy()
+	for attempt := 0; ; attempt++ {
+		err := d.writeBlockOnce(id, src)
+		if err == nil {
+			return nil
+		}
+		if attempt >= p.MaxRetries || !retryable(err) {
+			return err
+		}
+		d.writeRetries.Add(1)
+		if serr := sleepCtx(ctx, p.delay(attempt)); serr != nil {
+			return serr
+		}
+	}
+}
+
+// writeBlockOnce performs one write attempt, recording the block's
+// checksum on success. The checksum is of the content the caller intended
+// — a torn write that persists damaged bytes is caught by the next read's
+// verification, which is the point.
+func (d *Disk) writeBlockOnce(id BlockID, src []byte) error {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if err := d.checkLocked(id); err != nil {
@@ -241,8 +355,70 @@ func (d *Disk) WriteBlock(id BlockID, src []byte) error {
 	if err := d.backend.write(id, src); err != nil {
 		return err
 	}
+	if d.checksums.Load() {
+		// Concurrent writers to distinct blocks write distinct elements;
+		// same-block concurrency is a caller bug (single-owner semantics).
+		d.sums[id] = sumRecorded | uint64(crcPadded(src, d.blockSize))
+	}
 	d.writes.Add(1)
 	return nil
+}
+
+// retryPolicy snapshots the current policy (zero value = never retry).
+func (d *Disk) retryPolicy() RetryPolicy {
+	if p := d.retry.Load(); p != nil {
+		return *p
+	}
+	return RetryPolicy{}
+}
+
+// SetRetryPolicy installs the retry policy for transient faults and
+// checksum mismatches on this disk's transfers. Safe to call at any time;
+// in-flight transfers keep the policy they started with.
+func (d *Disk) SetRetryPolicy(p RetryPolicy) { d.retry.Store(&p) }
+
+// SetChecksums enables or disables CRC32C verification of block content.
+// Writes performed while enabled record a checksum that reads verify;
+// blocks written while disabled are served unverified (their checksum is
+// unknown). Verification changes no transfer counts — checksums live in
+// disk metadata, not in blocks, so the counted schedule stays
+// bit-identical (DESIGN.md §11).
+func (d *Disk) SetChecksums(on bool) { d.checksums.Store(on) }
+
+// Checksums reports whether block reads verify CRC32C checksums.
+func (d *Disk) Checksums() bool { return d.checksums.Load() }
+
+// InjectFaults wraps the disk's backend with a deterministic fault
+// injector driven by plan (DESIGN.md §11) — the chaos hook for tests and
+// benchmarks. Calling it again replaces the previous injector (transfer
+// indices restart at zero); injecting a zero plan effectively disarms it.
+// An armed injector that fires nothing leaves the counted transfer
+// schedule bit-identical to an uninstrumented disk.
+func (d *Disk) InjectFaults(plan FaultPlan) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if fb, ok := d.backend.(*faultBackend); ok {
+		d.backend = fb.inner
+	}
+	d.backend = newFaultBackend(d.backend, plan)
+}
+
+// FaultStats returns the disk's fault-handling counters: retries and
+// checksum failures (counted by the disk itself), plus the per-kind fired
+// counts of the installed injector, if any.
+func (d *Disk) FaultStats() FaultStats {
+	fs := FaultStats{
+		ReadRetries:      d.readRetries.Load(),
+		WriteRetries:     d.writeRetries.Load(),
+		ChecksumFailures: d.checksumFails.Load(),
+	}
+	d.mu.RLock()
+	fb, ok := d.backend.(*faultBackend)
+	d.mu.RUnlock()
+	if ok {
+		fs.InjectedTransient, fs.InjectedPermanent, fs.InjectedCorrupt, fs.InjectedTorn, fs.InjectedLatency = fb.stats()
+	}
+	return fs
 }
 
 // allocGen is Alloc plus the block's current free generation — the token
@@ -259,8 +435,26 @@ func (d *Disk) allocGen() (BlockID, uint32) {
 // allocation: a stale background write — its block freed, and possibly
 // reallocated to a new owner, after the write was launched — is rejected
 // under the same read lock that excludes Free, so it can never land on
-// another file's data.
-func (d *Disk) writeBlockGen(id BlockID, g uint32, src []byte) error {
+// another file's data. Retries follow the disk's policy, with the
+// generation revalidated on every attempt.
+func (d *Disk) writeBlockGen(ctx context.Context, id BlockID, g uint32, src []byte) error {
+	p := d.retryPolicy()
+	for attempt := 0; ; attempt++ {
+		err := d.writeBlockGenOnce(id, g, src)
+		if err == nil {
+			return nil
+		}
+		if attempt >= p.MaxRetries || !retryable(err) {
+			return err
+		}
+		d.writeRetries.Add(1)
+		if serr := sleepCtx(ctx, p.delay(attempt)); serr != nil {
+			return serr
+		}
+	}
+}
+
+func (d *Disk) writeBlockGenOnce(id BlockID, g uint32, src []byte) error {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if err := d.checkLocked(id); err != nil {
@@ -274,6 +468,9 @@ func (d *Disk) writeBlockGen(id BlockID, g uint32, src []byte) error {
 	}
 	if err := d.backend.write(id, src); err != nil {
 		return err
+	}
+	if d.checksums.Load() {
+		d.sums[id] = sumRecorded | uint64(crcPadded(src, d.blockSize))
 	}
 	d.writes.Add(1)
 	return nil

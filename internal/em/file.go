@@ -2,6 +2,7 @@ package em
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -45,16 +46,19 @@ func (f *File) Disk() *Disk { return f.disk }
 
 // Release frees every block of the file. The file becomes empty and may be
 // rewritten. Intermediate files (sort runs, per-level slab files) must be
-// released promptly or large experiments exhaust process memory.
+// released promptly or large experiments exhaust process memory. A failed
+// free never stops the sweep — every remaining block is still released and
+// all failures come back joined, so one bad block cannot leak the rest.
 func (f *File) Release() error {
+	var errs []error
 	for _, id := range f.blocks {
 		if err := f.disk.Free(id); err != nil {
-			return err
+			errs = append(errs, err)
 		}
 	}
 	f.blocks = nil
 	f.size = 0
-	return nil
+	return errors.Join(errs...)
 }
 
 // Writer appends bytes to a File through an in-memory block buffer. Every
@@ -137,8 +141,10 @@ func (w *Writer) flush() error {
 	}
 	if w.wb == nil {
 		id := w.file.disk.Alloc()
-		if err := w.file.disk.WriteBlock(id, w.buf[:w.n]); err != nil {
-			return err
+		if err := w.file.disk.writeBlockCtx(w.ctx, id, w.buf[:w.n]); err != nil {
+			// The block is not yet part of the file — freeing it here is
+			// the only chance to reclaim it (Release won't see it).
+			return errors.Join(err, w.file.disk.Free(id))
 		}
 		w.scope.addWrite()
 		w.file.blocks = append(w.file.blocks, id)
@@ -150,7 +156,7 @@ func (w *Writer) flush() error {
 	full := w.buf[:w.n]
 	w.buf, w.wb.spare = w.wb.spare, w.buf
 	w.wb.inflight = true
-	go writeBehindBlock(w.file, id, gen, full, w.scope, w.wb.ch)
+	go writeBehindBlock(w.ctx, w.file, id, gen, full, w.scope, w.wb.ch)
 	w.file.blocks = append(w.file.blocks, id)
 	w.file.size += int64(w.n)
 	w.n = 0
@@ -172,8 +178,8 @@ func (w *Writer) awaitWrite() error {
 // block generation captured at allocation (writeBlockGen), so if the
 // abandoned writer's file was already released — and the block handed to
 // a new owner — the stale write is rejected instead of corrupting it.
-func writeBehindBlock(f *File, id BlockID, gen uint32, src []byte, sc *ScopeStats, ch chan<- error) {
-	err := f.disk.writeBlockGen(id, gen, src)
+func writeBehindBlock(ctx context.Context, f *File, id BlockID, gen uint32, src []byte, sc *ScopeStats, ch chan<- error) {
+	err := f.disk.writeBlockGen(ctx, id, gen, src)
 	if err == nil {
 		sc.addWrite()
 		f.disk.pipeWrites.Add(1)
@@ -285,7 +291,7 @@ func (r *Reader) fill() error {
 		}
 		r.buf, r.pre.spare = r.pre.spare, r.buf
 	} else {
-		if err := r.file.disk.ReadBlock(r.file.blocks[r.next], r.buf); err != nil {
+		if err := r.file.disk.readBlockCtx(r.ctx, r.file.blocks[r.next], r.buf); err != nil {
 			return err
 		}
 		r.scope.addRead()
@@ -301,7 +307,7 @@ func (r *Reader) fill() error {
 	if r.pre != nil && r.next < len(r.file.blocks) {
 		r.pre.idx = r.next
 		r.pre.inflight = true
-		go prefetchBlock(r.file, r.file.blocks[r.next], r.pre.spare, r.scope, r.pre.ch)
+		go prefetchBlock(r.ctx, r.file, r.file.blocks[r.next], r.pre.spare, r.scope, r.pre.ch)
 	}
 	return nil
 }
@@ -309,8 +315,8 @@ func (r *Reader) fill() error {
 // prefetchBlock is the one-shot read-ahead goroutine body: it always
 // terminates after a single transfer and a buffered send, so a Reader
 // abandoned mid-stream cannot leak it.
-func prefetchBlock(f *File, id BlockID, dst []byte, sc *ScopeStats, ch chan<- error) {
-	err := f.disk.ReadBlock(id, dst)
+func prefetchBlock(ctx context.Context, f *File, id BlockID, dst []byte, sc *ScopeStats, ch chan<- error) {
+	err := f.disk.readBlockCtx(ctx, id, dst)
 	if err == nil {
 		sc.addRead()
 		f.disk.pipeReads.Add(1)

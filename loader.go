@@ -30,7 +30,7 @@ func (e *Engine) LoadCSV(r io.Reader) (_ *Dataset, err error) {
 	f := em.NewFile(e.env.Disk)
 	defer func() {
 		if err != nil {
-			_ = f.Release()
+			err = errors.Join(err, f.Release())
 		}
 	}()
 	w, err := em.NewRecordWriter(f, rec.ObjectCodec{})

@@ -2,6 +2,8 @@ package maxrs
 
 import (
 	"context"
+	"errors"
+	"io"
 	"strings"
 	"testing"
 )
@@ -51,6 +53,72 @@ func TestLoadCSVErrors(t *testing.T) {
 			t.Fatalf("LoadCSV(%q) should fail", c)
 		}
 	}
+}
+
+// errAfter yields its payload, then fails with err — an io.Reader whose
+// underlying medium dies mid-load.
+type errAfter struct {
+	r   io.Reader
+	err error
+}
+
+func (e *errAfter) Read(p []byte) (int, error) {
+	n, rerr := e.r.Read(p)
+	if rerr == io.EOF {
+		return n, e.err
+	}
+	return n, rerr
+}
+
+// TestLoadCSVTruncatedMidRecord: a CSV whose final record is cut off in
+// the middle of a field fails with the offending line number and leaks no
+// blocks — even though earlier blocks were already flushed to disk.
+func TestLoadCSVTruncatedMidRecord(t *testing.T) {
+	e := newLeakEngine(t)
+	valid := strings.Repeat("1,2,3\n", 200)
+	_, err := e.LoadCSV(strings.NewReader(valid + "17,"))
+	if err == nil {
+		t.Fatal("LoadCSV on a mid-record truncation must fail")
+	}
+	if !strings.Contains(err.Error(), "line 201") {
+		t.Fatalf("error %q does not name the truncated line", err)
+	}
+	wantInUse(t, e, 0, "after truncated load")
+}
+
+// TestLoadCSVShortFinalLine: a final line with too few columns (the tail
+// of a partial transfer) fails cleanly, with and without a trailing
+// newline.
+func TestLoadCSVShortFinalLine(t *testing.T) {
+	e := newLeakEngine(t)
+	valid := strings.Repeat("1,2,3\n", 200)
+	for _, tail := range []string{"42\n", "42"} {
+		_, err := e.LoadCSV(strings.NewReader(valid + tail))
+		if err == nil {
+			t.Fatalf("LoadCSV with short final line %q must fail", tail)
+		}
+		if !strings.Contains(err.Error(), "line 201") {
+			t.Fatalf("error %q does not name the short line", err)
+		}
+		wantInUse(t, e, 0, "after short final line")
+	}
+}
+
+// TestLoadCSVReaderErrorMidLoad: the underlying reader failing partway
+// through the stream surfaces its error (not a silent short dataset) and
+// releases every block written so far.
+func TestLoadCSVReaderErrorMidLoad(t *testing.T) {
+	e := newLeakEngine(t)
+	cause := errors.New("read: device went away")
+	valid := strings.Repeat("1,2,3\n", 200)
+	_, err := e.LoadCSV(&errAfter{r: strings.NewReader(valid), err: cause})
+	if err == nil {
+		t.Fatal("LoadCSV must surface the reader's error")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("error %q does not wrap the reader's error", err)
+	}
+	wantInUse(t, e, 0, "after reader error")
 }
 
 func TestLoadCSVMatchesLoad(t *testing.T) {

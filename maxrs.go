@@ -241,6 +241,19 @@ type Options struct {
 	// ignore it for MaxRS (CountRS and TopK always solve with
 	// ExactMaxRS).
 	Shards int
+	// Retry is the policy for transient storage faults and checksum
+	// mismatches on block transfers (DESIGN.md §11). The zero value never
+	// retries. Retries respect the query context and count in
+	// Engine.FaultStats, never in the I/O metric: a fault-free run's
+	// counted transfer schedule is bit-identical with any policy. Applies
+	// to the primary disk and to every shard disk.
+	Retry RetryPolicy
+	// Checksums enables per-block CRC32C verification: every block write
+	// records a checksum in disk metadata, every read verifies it, and a
+	// mismatch (torn write, bit rot) is retried under Retry before
+	// surfacing as ErrBlockCorrupt. Checksums change no transfer counts
+	// (DESIGN.md §11). Applies to the primary disk and every shard disk.
+	Checksums bool
 }
 
 // PipelineMode selects the stream prefetch / write-behind behavior of an
@@ -319,6 +332,10 @@ type Engine struct {
 	// total even though that traffic never touches the primary disk.
 	shardReads  atomic.Uint64
 	shardWrites atomic.Uint64
+
+	// faultPlan is the armed fault-injection plan (InjectFaults), applied
+	// to shard disks at creation so injection covers the whole query path.
+	faultPlan atomic.Pointer[em.FaultPlan]
 }
 
 // NewEngine validates opts and returns an Engine. Misconfiguration —
@@ -364,9 +381,11 @@ func NewEngine(opts *Options) (*Engine, error) {
 		_ = env.Disk.Close()
 		return nil, fmt.Errorf("maxrs: unknown pipeline mode %d", o.Pipeline)
 	}
+	env.Disk.SetRetryPolicy(o.Retry.em())
+	env.Disk.SetChecksums(o.Checksums)
 	solver, err := core.NewSolver(env, core.Config{Fanout: o.Fanout, Parallelism: o.Parallelism, Unfused: o.Unfused})
 	if err != nil {
-		return nil, err
+		return nil, errors.Join(err, env.Disk.Close())
 	}
 	par := o.Parallelism
 	if par == 0 {
@@ -482,7 +501,7 @@ func (e *Engine) Load(objs []Object) (_ *Dataset, err error) {
 	f := em.NewFile(e.env.Disk)
 	defer func() {
 		if err != nil {
-			_ = f.Release()
+			err = errors.Join(err, f.Release())
 		}
 	}()
 	w, err := em.NewRecordWriter(f, rec.ObjectCodec{})
@@ -612,11 +631,12 @@ func (e *Engine) begin(ctx context.Context, d *Dataset, opts []QueryOption) (*qu
 }
 
 // end is the deferred tail of every query: it drops the dataset
-// reference, surfaces a final-free failure if the query itself succeeded,
-// and wraps cancellation-caused failures in ErrQueryCancelled.
+// reference, joins in a final-free failure (the query error, if any,
+// stays primary), and wraps cancellation-caused failures in
+// ErrQueryCancelled.
 func (q *query) end(err *error) {
-	if rerr := q.d.release(); rerr != nil && *err == nil {
-		*err = rerr
+	if rerr := q.d.release(); rerr != nil {
+		*err = errors.Join(*err, rerr)
 	}
 	*err = wrapCancel(*err)
 }
@@ -771,6 +791,11 @@ func (e *Engine) newShardDisk() (*em.Disk, error) {
 		return nil, err
 	}
 	d.SetPipelining(e.env.Disk.Pipelined())
+	d.SetRetryPolicy(e.opts.Retry.em())
+	d.SetChecksums(e.opts.Checksums)
+	if p := e.faultPlan.Load(); p != nil {
+		d.InjectFaults(*p)
+	}
 	return d, nil
 }
 
@@ -830,10 +855,11 @@ func MaxRS(ctx context.Context, objs []Object, w, h float64, opts *Options, qopt
 }
 
 // closeEngine is the deferred tail of the one-shot forms: it closes the
-// engine and surfaces the close failure unless an earlier error wins.
+// engine and joins the close failure into the call's error (the earlier
+// error, if any, stays primary).
 func closeEngine(e *Engine, err *error) {
-	if cerr := e.Close(); cerr != nil && *err == nil {
-		*err = cerr
+	if cerr := e.Close(); cerr != nil {
+		*err = errors.Join(*err, cerr)
 	}
 }
 
