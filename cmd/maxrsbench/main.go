@@ -70,7 +70,7 @@ func parseLevels(s string) ([]int, error) {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "comma-separated: table2,table3,fig12,fig13,fig14,fig15,fig16,fig17,all,load,fusion,shard,fault (load, fusion, shard and fault are never part of all)")
+		exp        = flag.String("exp", "all", "comma-separated: table2,table3,fig12,fig13,fig14,fig15,fig16,fig17,all,load,fusion,shard,fault,plan (load, fusion, shard, fault and plan are never part of all)")
 		scale      = flag.Float64("scale", 1.0, "cardinality scale factor (1 = paper scale)")
 		bufscale   = flag.Float64("bufscale", 0, "buffer scale factor (default: same as -scale)")
 		seed       = flag.Int64("seed", 2012, "data generation seed")
@@ -98,9 +98,26 @@ func main() {
 		Parallelism: *parallel,
 	}
 
+	registered := []string{
+		"all", "table2", "table3", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+		"load", "fusion", "shard", "fault", "plan",
+	}
+	known := map[string]bool{}
+	for _, name := range registered {
+		known[name] = true
+	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
-		want[strings.TrimSpace(strings.ToLower(e))] = true
+		name := strings.TrimSpace(strings.ToLower(e))
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "maxrsbench: unknown experiment %q; registered: %s\n",
+				name, strings.Join(registered, ", "))
+			os.Exit(2)
+		}
+		want[name] = true
 	}
 	all := want["all"]
 	summary := jsonSummary{
@@ -201,6 +218,32 @@ func main() {
 			Series:    series,
 		})
 		delete(want, "fault")
+		if len(want) == 0 {
+			finish()
+			return
+		}
+		fmt.Println()
+	}
+	if want["plan"] {
+		n, mem := scaledWorkload()
+		start := time.Now()
+		series, err := runPlan(planConfig{
+			objects: n,
+			seed:    *seed,
+			memory:  mem,
+			par:     *parallel,
+			out:     os.Stdout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plan: %v\n", err)
+			os.Exit(1)
+		}
+		summary.Experiments = append(summary.Experiments, jsonExperiment{
+			Name:      "plan",
+			ElapsedMS: time.Since(start).Milliseconds(),
+			Series:    series,
+		})
+		delete(want, "plan")
 		if len(want) == 0 {
 			finish()
 			return

@@ -9,22 +9,47 @@ import (
 // (dataset generation, algorithm, query parameters). Entries for deleted
 // datasets are never hit again (the generation changes) and age out of the
 // LRU naturally. A capacity ≤ 0 disables caching.
+//
+// On top of the exact-key lookup the cache answers semantic containment
+// hits: a cached TopK(k') response for a (generation, w, h) family serves
+// MaxRS and any TopK(k ≤ k') of the same family — the greedy TopK rounds
+// are prefix-stable, so the donor's first k results ARE the TopK(k)
+// answer, and its first result IS the MaxRS answer (DESIGN.md §12.6).
+// A donor that ran dry (fewer results than its requested k) serves every
+// larger k too. Generations partition families, so reuse never crosses a
+// dataset reload; failed queries are never stored at all.
 type resultCache struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List // front = most recently used; values are *cacheEntry
 	byKey map[string]*list.Element
+	// families indexes the best donor entry per (generation, w, h)
+	// family: the exhausted donor if any, else the largest-k one.
+	families map[string]*list.Element
 
-	hits, misses uint64
+	hits, misses, reuseHits uint64
 }
 
 type cacheEntry struct {
 	key string
 	val queryResponse
+	// family/k/exhausted describe the entry's containment-donor role:
+	// family is empty for entries that can never donate (maxcrs, and
+	// rect queries with nothing to give), k is the request's k (1 for
+	// maxrs), exhausted marks a TopK that returned fewer than k results
+	// — the dataset ran dry, so the result list is complete for every
+	// larger k as well.
+	family    string
+	k         int
+	exhausted bool
 }
 
 func newResultCache(capacity int) *resultCache {
-	return &resultCache{cap: capacity, ll: list.New(), byKey: make(map[string]*list.Element)}
+	return &resultCache{
+		cap: capacity, ll: list.New(),
+		byKey:    make(map[string]*list.Element),
+		families: make(map[string]*list.Element),
+	}
 }
 
 func (c *resultCache) get(key string) (queryResponse, bool) {
@@ -43,27 +68,84 @@ func (c *resultCache) get(key string) (queryResponse, bool) {
 	return el.Value.(*cacheEntry).val, true
 }
 
-func (c *resultCache) put(key string, val queryResponse) {
+// reuse answers a containment lookup: the family's donor serves a
+// request wanting k results when it holds at least that many rounds
+// (k ≤ donor.k) or ran the dataset dry. The donor's response rides back
+// for the caller to trim; reuse hits are counted separately from exact
+// hits so the two cache effects stay observable apart.
+func (c *resultCache) reuse(family string, k int) (queryResponse, bool) {
+	if c.cap <= 0 || family == "" {
+		return queryResponse{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.families[family]
+	if !ok {
+		return queryResponse{}, false
+	}
+	e := el.Value.(*cacheEntry)
+	if k > e.k && !e.exhausted {
+		return queryResponse{}, false
+	}
+	c.reuseHits++
+	c.ll.MoveToFront(el)
+	return e.val, true
+}
+
+// put stores a solved response. A non-empty family registers the entry
+// as a containment donor for its (generation, w, h) family, displacing
+// the current donor only when it covers strictly more (exhausted beats
+// bounded; larger k beats smaller).
+func (c *resultCache) put(key string, val queryResponse, family string, k int, exhausted bool) {
 	if c.cap <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
-		el.Value.(*cacheEntry).val = val
+		e := el.Value.(*cacheEntry)
+		if c.families[e.family] == el {
+			delete(c.families, e.family)
+		}
+		*e = cacheEntry{key: key, val: val, family: family, k: k, exhausted: exhausted}
 		c.ll.MoveToFront(el)
+		c.promote(el)
 		return
 	}
 	for c.ll.Len() >= c.cap {
 		back := c.ll.Back()
-		delete(c.byKey, back.Value.(*cacheEntry).key)
+		e := back.Value.(*cacheEntry)
+		delete(c.byKey, e.key)
+		if c.families[e.family] == back {
+			delete(c.families, e.family)
+		}
 		c.ll.Remove(back)
 	}
-	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	el := c.ll.PushFront(&cacheEntry{key: key, val: val, family: family, k: k, exhausted: exhausted})
+	c.byKey[key] = el
+	c.promote(el)
 }
 
-func (c *resultCache) stats() (hits, misses uint64, size int) {
+// promote makes el its family's donor if it covers more than the current
+// one. Caller holds c.mu.
+func (c *resultCache) promote(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	if e.family == "" {
+		return
+	}
+	cur, ok := c.families[e.family]
+	if !ok {
+		c.families[e.family] = el
+		return
+	}
+	ce := cur.Value.(*cacheEntry)
+	if (e.exhausted && !ce.exhausted) || (e.exhausted == ce.exhausted && e.k >= ce.k) {
+		c.families[e.family] = el
+	}
+}
+
+func (c *resultCache) stats() (hits, misses, reuseHits uint64, size int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.ll.Len()
+	return c.hits, c.misses, c.reuseHits, c.ll.Len()
 }

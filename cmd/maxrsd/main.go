@@ -16,8 +16,10 @@
 //	GET    /readyz                  readiness: 503 before the engine is up
 //	                                and while draining for shutdown
 //	GET    /stats                   global I/O counters, cache + leak gauges
-//	GET    /datasets                list loaded datasets
+//	GET    /datasets                list loaded datasets with their
+//	                                load-time statistics + cache counters
 //	PUT    /datasets/{name}         load CSV from the request body
+//	                                (response includes dataset statistics)
 //	PUT    /datasets/{name}?path=P  load CSV from P under -datadir
 //	                                (requires -datadir; confined to it)
 //	PUT    /datasets/{name}?shards=K  solve queries on this dataset K-way
@@ -28,11 +30,16 @@
 //	                                {"dataset":"d","op":"maxcrs","diameter":4}
 //	POST   /query?timeout=500ms     per-query deadline (504 on expiry;
 //	                                clamped to -timeout when set)
+//	POST   /query?explain=1         plan the query without executing it:
+//	                                returns the chosen plan, predicted
+//	                                cost, and candidate table (maxrs/topk)
 //
 // Under overload the server degrades instead of queueing unboundedly:
 // once -workers queries execute and -queue more wait, further cache
 // misses are shed with 429 + Retry-After. Failed queries are never
-// cached.
+// cached. Beyond exact-key hits the cache answers containment reuse: a
+// cached TopK(k') serves MaxRS and TopK(k ≤ k') of the same
+// (dataset, w, h) — such responses carry "reused": true.
 //
 // Every query result carries its own per-query I/O stats; /stats keeps
 // the disk-global totals. See README.md for a walkthrough.
@@ -73,9 +80,15 @@ func main() {
 		retryBase = flag.Duration("retrybase", time.Millisecond, "initial retry backoff (doubles per attempt)")
 		retryMax  = flag.Duration("retrymax", 100*time.Millisecond, "retry backoff cap (0 = uncapped)")
 		checksums = flag.Bool("checksums", false, "verify per-block CRC32C checksums on every read")
+		auto      = flag.Bool("auto", false, "let the cost model pick algorithm/shards/fusion per query (AlgorithmAuto)")
 	)
 	flag.Parse()
+	algorithm := maxrs.ExactMaxRS
+	if *auto {
+		algorithm = maxrs.AlgorithmAuto
+	}
 	eng, err := maxrs.NewEngine(&maxrs.Options{
+		Algorithm:   algorithm,
 		BlockSize:   *blockSize,
 		Memory:      *memory,
 		Parallelism: *parallel,

@@ -205,27 +205,71 @@ func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 }
 
 type statsResponse struct {
-	Reads        uint64 `json:"reads"`
-	Writes       uint64 `json:"writes"`
-	Total        uint64 `json:"total"`
-	BlocksInUse  int    `json:"blocks_in_use"`
-	Datasets     int    `json:"datasets"`
-	CacheHits    uint64 `json:"cache_hits"`
-	CacheMisses  uint64 `json:"cache_misses"`
-	CacheEntries int    `json:"cache_entries"`
+	Reads       uint64 `json:"reads"`
+	Writes      uint64 `json:"writes"`
+	Total       uint64 `json:"total"`
+	BlocksInUse int    `json:"blocks_in_use"`
+	Datasets    int    `json:"datasets"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	// CacheReuseHits counts containment (semantic) reuse: requests
+	// served from a cached TopK of the same (generation, w, h) family
+	// rather than an exact key match.
+	CacheReuseHits uint64 `json:"cache_reuse_hits"`
+	CacheEntries   int    `json:"cache_entries"`
+}
+
+// cacheStatsJSON is the cache counter block shared by /stats consumers
+// and the GET /datasets listing.
+type cacheStatsJSON struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	ReuseHits uint64 `json:"reuse_hits"`
+	Entries   int    `json:"entries"`
+}
+
+func (s *server) cacheStats() cacheStatsJSON {
+	hits, misses, reuse, size := s.cache.stats()
+	return cacheStatsJSON{Hits: hits, Misses: misses, ReuseHits: reuse, Entries: size}
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.eng.Stats()
-	hits, misses, size := s.cache.stats()
+	cs := s.cacheStats()
 	s.mu.RLock()
 	n := len(s.datasets)
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, statsResponse{
 		Reads: st.Reads, Writes: st.Writes, Total: st.Total(),
 		BlocksInUse: s.eng.BlocksInUse(), Datasets: n,
-		CacheHits: hits, CacheMisses: misses, CacheEntries: size,
+		CacheHits: cs.Hits, CacheMisses: cs.Misses,
+		CacheReuseHits: cs.ReuseHits, CacheEntries: cs.Entries,
 	})
+}
+
+// datasetStatsJSON mirrors maxrs.DatasetStats — the statistics collected
+// in the loader's streaming pass.
+type datasetStatsJSON struct {
+	N        int64   `json:"n"`
+	Bytes    int64   `json:"bytes"`
+	Blocks   int64   `json:"blocks"`
+	MinX     float64 `json:"min_x"`
+	MaxX     float64 `json:"max_x"`
+	MinY     float64 `json:"min_y"`
+	MaxY     float64 `json:"max_y"`
+	MinW     float64 `json:"min_w"`
+	MaxW     float64 `json:"max_w"`
+	MeanW    float64 `json:"mean_w"`
+	Resident bool    `json:"resident"`
+}
+
+func fromDatasetStats(st maxrs.DatasetStats) datasetStatsJSON {
+	return datasetStatsJSON{
+		N: st.N, Bytes: st.Bytes, Blocks: st.Blocks,
+		MinX: st.MinX, MaxX: st.MaxX, MinY: st.MinY, MaxY: st.MaxY,
+		MinW: st.MinW, MaxW: st.MaxW, MeanW: st.MeanW,
+		Resident: st.Resident,
+	}
 }
 
 type datasetInfo struct {
@@ -235,19 +279,30 @@ type datasetInfo struct {
 	// Shards is the dataset's shard-count override (0 = the engine's
 	// -shards default applies).
 	Shards int `json:"shards,omitempty"`
+	// Stats are the load-time dataset statistics the planner works from.
+	Stats *datasetStatsJSON `json:"stats,omitempty"`
+}
+
+// datasetListResponse is the GET /datasets envelope: the datasets with
+// their load-time stats, plus the result cache's hit/miss/reuse counters.
+type datasetListResponse struct {
+	Datasets []datasetInfo  `json:"datasets"`
+	Cache    cacheStatsJSON `json:"cache"`
 }
 
 func (s *server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	infos := make([]datasetInfo, 0, len(s.datasets))
 	for name, e := range s.datasets {
+		st := fromDatasetStats(e.ds.Stats())
 		infos = append(infos, datasetInfo{
 			Name: name, Objects: e.ds.Len(), Blocks: e.ds.Blocks(), Shards: e.ds.Shards(),
+			Stats: &st,
 		})
 	}
 	s.mu.RUnlock()
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
-	writeJSON(w, http.StatusOK, infos)
+	writeJSON(w, http.StatusOK, datasetListResponse{Datasets: infos, Cache: s.cacheStats()})
 }
 
 // maxUpload bounds a CSV upload body (256 MiB).
@@ -304,8 +359,9 @@ func (s *server) handlePutDataset(w http.ResponseWriter, r *http.Request) {
 	if old != nil {
 		_ = old.ds.Release() // safe while in-flight queries still hold it
 	}
+	st := fromDatasetStats(ds.Stats())
 	writeJSON(w, http.StatusCreated, datasetInfo{
-		Name: name, Objects: ds.Len(), Blocks: ds.Blocks(), Shards: shards,
+		Name: name, Objects: ds.Len(), Blocks: ds.Blocks(), Shards: shards, Stats: &st,
 	})
 }
 
@@ -352,10 +408,47 @@ type shardStatJSON struct {
 	Stats   statsJSON `json:"stats"`
 }
 
+// costJSON is a cost-model prediction (block transfers).
+type costJSON struct {
+	Reads  int64 `json:"reads"`
+	Writes int64 `json:"writes"`
+	Total  int64 `json:"total"`
+	Exact  bool  `json:"exact,omitempty"`
+}
+
+func fromPredicted(c maxrs.PredictedCost) costJSON {
+	return costJSON{Reads: c.Reads, Writes: c.Writes, Total: c.Total(), Exact: c.Exact}
+}
+
+// planJSON is the materialized execution decision of a query.
+type planJSON struct {
+	Algorithm string   `json:"algorithm"`
+	Shards    int      `json:"shards,omitempty"`
+	Unfused   bool     `json:"unfused,omitempty"`
+	Auto      bool     `json:"auto,omitempty"`
+	Predicted costJSON `json:"predicted"`
+}
+
+func fromPlan(p maxrs.Plan) planJSON {
+	return planJSON{
+		Algorithm: p.Algorithm.String(),
+		Shards:    p.Shards,
+		Unfused:   p.Unfused,
+		Auto:      p.Auto,
+		Predicted: fromPredicted(p.Predicted),
+	}
+}
+
 type queryResult struct {
 	Location pointJSON `json:"location"`
 	Score    float64   `json:"score"`
 	Stats    statsJSON `json:"stats"`
+	// Plan is the execution decision the query ran under, with its
+	// predicted cost next to the measured Stats.
+	Plan *planJSON `json:"plan,omitempty"`
+	// FallbackReason is non-empty when the query silently did less than
+	// requested (e.g. a sharded request on a negative-weight dataset).
+	FallbackReason string `json:"fallback_reason,omitempty"`
 	// Shards is the per-shard breakdown of Stats for sharded queries
 	// (datasets loaded with ?shards=K or a -shards server default);
 	// omitted for unsharded queries.
@@ -363,17 +456,24 @@ type queryResult struct {
 }
 
 type queryResponse struct {
-	Dataset string        `json:"dataset"`
-	Op      string        `json:"op"`
-	Cached  bool          `json:"cached"`
+	Dataset string `json:"dataset"`
+	Op      string `json:"op"`
+	Cached  bool   `json:"cached"`
+	// Reused marks a semantic containment hit: the response was served
+	// from a cached TopK of the same (dataset generation, w, h) family
+	// rather than an exact key match.
+	Reused  bool          `json:"reused,omitempty"`
 	Results []queryResult `json:"results"`
 }
 
 func fromResult(r maxrs.Result) queryResult {
+	pl := fromPlan(r.Plan)
 	out := queryResult{
-		Location: pointJSON{X: r.Location.X, Y: r.Location.Y},
-		Score:    r.Score,
-		Stats:    statsJSON{Reads: r.Stats.Reads, Writes: r.Stats.Writes, Total: r.Stats.Total()},
+		Location:       pointJSON{X: r.Location.X, Y: r.Location.Y},
+		Score:          r.Score,
+		Stats:          statsJSON{Reads: r.Stats.Reads, Writes: r.Stats.Writes, Total: r.Stats.Total()},
+		Plan:           &pl,
+		FallbackReason: r.FallbackReason,
 	}
 	for _, s := range r.ShardStats {
 		out.Shards = append(out.Shards, shardStatJSON{
@@ -411,6 +511,62 @@ func cacheKey(gen uint64, req queryRequest) string {
 	return fmt.Sprintf("%d|%s|%g|%g|%g|%d", gen, req.Op, req.W, req.H, req.Diameter, req.K)
 }
 
+// familyKey names the containment-reuse family of the rectangle queries:
+// every (generation, w, h) family shares one greedy result sequence, so
+// a cached TopK(k') answers MaxRS and any TopK(k ≤ k') of the family.
+// The generation keeps reuse inside one dataset registration.
+func familyKey(gen uint64, req queryRequest) string {
+	return fmt.Sprintf("%d|rect|%g|%g", gen, req.W, req.H)
+}
+
+// donorInfo decides whether a solved response may donate containment
+// hits, and what it covers: a TopK covers its k (or everything, when it
+// ran the dataset dry), a MaxRS with a positive score covers k = 1
+// (TopK rounds stop at nonpositive scores, so a nonpositive MaxRS
+// answer must not masquerade as a TopK round).
+func donorInfo(gen uint64, req queryRequest, resp queryResponse) (family string, k int, exhausted bool) {
+	switch req.Op {
+	case "topk":
+		return familyKey(gen, req), req.K, len(resp.Results) < req.K
+	case "maxrs":
+		if len(resp.Results) == 1 && resp.Results[0].Score > 0 {
+			return familyKey(gen, req), 1, false
+		}
+	}
+	return "", 0, false
+}
+
+// reuseWant maps a request onto the containment lookup: how many greedy
+// rounds it needs from a donor (0 = not a reusable shape).
+func reuseWant(req queryRequest) int {
+	switch req.Op {
+	case "maxrs":
+		return 1
+	case "topk":
+		if req.K >= 1 {
+			return req.K
+		}
+	}
+	return 0
+}
+
+// adaptDonor shapes a donor response into an answer for req: the first
+// result for MaxRS (provided the donor has one), the first k for TopK.
+// The per-result stats and plans are the donor's recorded ones.
+func adaptDonor(donor queryResponse, req queryRequest, want int) (queryResponse, bool) {
+	resp := donor
+	resp.Op = req.Op
+	resp.Dataset = req.Dataset
+	resp.Cached, resp.Reused = true, true
+	if req.Op == "maxrs" && len(donor.Results) < 1 {
+		return queryResponse{}, false
+	}
+	if want < len(donor.Results) {
+		resp.Results = donor.Results[:want:want]
+	}
+	return resp, true
+}
+
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBody)).Decode(&req); err != nil {
@@ -420,6 +576,13 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	entry, ok := s.lookup(req.Dataset)
 	if !ok {
 		httpError(w, http.StatusNotFound, "no dataset %q", req.Dataset)
+		return
+	}
+	// ?explain=1 plans the query without executing: no cache, no
+	// admission, no engine I/O — just the cost model over the dataset's
+	// load-time statistics.
+	if r.URL.Query().Get("explain") == "1" {
+		s.handleExplain(w, entry, req)
 		return
 	}
 	// Validate before serving from cache: a malformed request is a 400
@@ -433,6 +596,17 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Cached = true
 		writeJSON(w, http.StatusOK, resp)
 		return
+	}
+	// Semantic containment reuse: a cached TopK(k') of the same
+	// (generation, w, h) family answers MaxRS and TopK(k ≤ k') without
+	// touching the engine (DESIGN.md §12.6).
+	if want := reuseWant(req); want > 0 {
+		if donor, ok := s.cache.reuse(familyKey(entry.gen, req), want); ok {
+			if resp, ok := adaptDonor(donor, req, want); ok {
+				writeJSON(w, http.StatusOK, resp)
+				return
+			}
+		}
 	}
 	// Admission control: cache misses beyond the worker pool plus the
 	// bounded queue are shed immediately — a saturated server answers
@@ -506,8 +680,75 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, code, "query: %v", err)
 		return
 	}
-	s.cache.put(cacheKey(entry.gen, req), resp)
+	family, k, exhausted := donorInfo(entry.gen, req, resp)
+	s.cache.put(cacheKey(entry.gen, req), resp, family, k, exhausted)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// explainResponse is the ?explain=1 answer: the plan the query would
+// run, its predicted cost, the dataset statistics it was derived from,
+// and the full candidate table — all without executing anything.
+type explainResponse struct {
+	Dataset        string           `json:"dataset"`
+	Op             string           `json:"op"`
+	Plan           planJSON         `json:"plan"`
+	FallbackReason string           `json:"fallback_reason,omitempty"`
+	Stats          datasetStatsJSON `json:"dataset_stats"`
+	Candidates     []candidateJSON  `json:"candidates"`
+}
+
+// candidateJSON is one row of the planner's candidate table.
+type candidateJSON struct {
+	Algorithm string   `json:"algorithm"`
+	Shards    int      `json:"shards,omitempty"`
+	Unfused   bool     `json:"unfused,omitempty"`
+	Predicted costJSON `json:"predicted"`
+	Eligible  bool     `json:"eligible"`
+	Chosen    bool     `json:"chosen,omitempty"`
+	Note      string   `json:"note,omitempty"`
+}
+
+// handleExplain answers ?explain=1 for the rectangle ops: the plan of
+// the underlying object solve (for topk, that is one greedy round).
+func (s *server) handleExplain(w http.ResponseWriter, entry *dsEntry, req queryRequest) {
+	switch req.Op {
+	case "maxrs", "topk":
+	default:
+		httpError(w, http.StatusBadRequest, "explain supports op maxrs and topk, not %q", req.Op)
+		return
+	}
+	ex, err := s.eng.Explain(entry.ds, req.W, req.H)
+	if err != nil {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, maxrs.ErrInvalidQuery):
+			code = http.StatusBadRequest
+		case errors.Is(err, maxrs.ErrDatasetReleased):
+			code = http.StatusNotFound
+		}
+		httpError(w, code, "explain: %v", err)
+		return
+	}
+	out := explainResponse{
+		Dataset:        req.Dataset,
+		Op:             req.Op,
+		Plan:           fromPlan(ex.Plan),
+		FallbackReason: ex.FallbackReason,
+		Stats:          fromDatasetStats(ex.Stats),
+		Candidates:     make([]candidateJSON, len(ex.Candidates)),
+	}
+	for i, c := range ex.Candidates {
+		out.Candidates[i] = candidateJSON{
+			Algorithm: c.Algorithm.String(),
+			Shards:    c.Shards,
+			Unfused:   c.Unfused,
+			Predicted: fromPredicted(c.Predicted),
+			Eligible:  c.Eligible,
+			Chosen:    c.Chosen,
+			Note:      c.Note,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 var errUnknownOp = errors.New("unknown op (want maxrs, maxcrs or topk)")
@@ -529,10 +770,13 @@ func (s *server) runQuery(ctx context.Context, entry *dsEntry, req queryRequest)
 		if err != nil {
 			return resp, err
 		}
+		pl := fromPlan(res.Plan)
 		resp.Results = []queryResult{{
-			Location: pointJSON{X: res.Location.X, Y: res.Location.Y},
-			Score:    res.Score,
-			Stats:    statsJSON{Reads: res.Stats.Reads, Writes: res.Stats.Writes, Total: res.Stats.Total()},
+			Location:       pointJSON{X: res.Location.X, Y: res.Location.Y},
+			Score:          res.Score,
+			Stats:          statsJSON{Reads: res.Stats.Reads, Writes: res.Stats.Writes, Total: res.Stats.Total()},
+			Plan:           &pl,
+			FallbackReason: res.FallbackReason,
 		}}
 	case "topk":
 		results, err := s.eng.TopK(ctx, entry.ds, req.W, req.H, req.K)

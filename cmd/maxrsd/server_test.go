@@ -308,13 +308,16 @@ func TestShardedDataset(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("list datasets: %d", resp.StatusCode)
 	}
-	var infos []datasetInfo
-	if err := json.Unmarshal(body, &infos); err != nil {
+	var listing datasetListResponse
+	if err := json.Unmarshal(body, &listing); err != nil {
 		t.Fatal(err)
 	}
 	byName := map[string]int{}
-	for _, i := range infos {
+	for _, i := range listing.Datasets {
 		byName[i.Name] = i.Shards
+		if i.Stats == nil || i.Stats.N == 0 {
+			t.Fatalf("dataset %q listed without load-time stats: %+v", i.Name, i.Stats)
+		}
 	}
 	if byName["sharded"] != 2 || byName["plain"] != 0 {
 		t.Fatalf("listing shards = %v, want sharded:2 plain:0", byName)

@@ -23,6 +23,15 @@ type CRSResult struct {
 	// Stats is the I/O cost of this query alone (zero for the in-memory
 	// exact solver).
 	Stats QueryStats
+	// Plan is the materialized execution decision (zero for the
+	// in-memory exact solver); PredictedCost is its cost-model
+	// prediction, comparable against Stats. See DESIGN.md §12.
+	Plan          Plan
+	PredictedCost PredictedCost
+	// FallbackReason is non-empty when the settings requested something
+	// MaxCRS never does (e.g. sharding — the rectangle transform runs
+	// unsharded by construction).
+	FallbackReason string
 }
 
 // MaxCRS approximates the circular MaxRS problem with the paper's
@@ -40,7 +49,7 @@ func (e *Engine) MaxCRS(ctx context.Context, d *Dataset, diameter float64, opts 
 	if !(diameter > 0) || math.IsInf(diameter, 0) {
 		return CRSResult{}, fmt.Errorf("%w: diameter %g must be positive and finite", ErrInvalidQuery, diameter)
 	}
-	q, err := e.begin(ctx, d, opts)
+	q, err := e.begin(ctx, d, kindMaxCRS, diameter, diameter, opts)
 	if err != nil {
 		return CRSResult{}, err
 	}
@@ -49,12 +58,18 @@ func (e *Engine) MaxCRS(ctx context.Context, d *Dataset, diameter float64, opts 
 	if err != nil {
 		return CRSResult{}, err
 	}
-	return CRSResult{
+	out := CRSResult{
 		Location:        Point{X: res.Center.X, Y: res.Center.Y},
 		Score:           res.Weight,
 		LowerBoundRatio: 0.25,
 		Stats:           queryStatsOf(q.sc),
-	}, nil
+		Plan:            q.plan,
+		PredictedCost:   q.plan.Predicted,
+		FallbackReason:  q.fallback,
+	}
+	out.Stats.PredictedReads = uint64(q.plan.Predicted.Reads)
+	out.Stats.PredictedWrites = uint64(q.plan.Predicted.Writes)
+	return out, nil
 }
 
 // MaxCRS is the one-shot convenience form of Engine.MaxCRS: it builds an

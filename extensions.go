@@ -35,7 +35,7 @@ func (e *Engine) TopK(ctx context.Context, d *Dataset, w, h float64, k int, opts
 	if k < 1 {
 		return nil, fmt.Errorf("%w: k = %d must be ≥ 1", ErrInvalidQuery, k)
 	}
-	q, err := e.begin(ctx, d, opts)
+	q, err := e.begin(ctx, d, kindTopK, w, h, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -68,6 +68,10 @@ func (e *Engine) TopK(ctx context.Context, d *Dataset, w, h float64, k int, opts
 		out.Algorithm = ExactMaxRS
 		out.Shards = len(shardStats)
 		out.ShardStats = shardStats
+		// Every round carries the same plan; its prediction covers one
+		// solve over the full dataset — later rounds solve shrinking
+		// filtrates, so their measured Stats fall below it.
+		q.annotate(&out)
 		if round < k-1 {
 			// The final round's filtrate would never be solved — skip the
 			// pass instead of paying its scan + rewrite.
@@ -87,7 +91,7 @@ func (e *Engine) TopK(ctx context.Context, d *Dataset, w, h float64, k int, opts
 			cur, owned = next, true
 		}
 		now := queryStatsOf(q.sc)
-		out.Stats = QueryStats{Reads: now.Reads - prev.Reads, Writes: now.Writes - prev.Writes}
+		out.Stats.Reads, out.Stats.Writes = now.Reads-prev.Reads, now.Writes-prev.Writes
 		prev = now
 		results = append(results, out)
 	}
@@ -165,7 +169,7 @@ func transformObjects(env em.Env, in *em.File, fn func(o rec.Object, emit func(r
 // weights, for which the shard merge is not exact (DESIGN.md §9.3);
 // Result.Shards is always 0.
 func (e *Engine) MinRS(ctx context.Context, d *Dataset, w, h float64, opts ...QueryOption) (Result, error) {
-	res, err := e.solveMapped(ctx, d, w, h, opts, func(*query) int { return 0 }, func(o rec.Object) rec.Object {
+	res, err := e.solveMapped(ctx, d, w, h, opts, kindMinRS, func(o rec.Object) rec.Object {
 		o.W = -o.W
 		return o
 	})
@@ -182,22 +186,23 @@ func (e *Engine) MinRS(ctx context.Context, d *Dataset, w, h float64, opts ...Qu
 // weights are all 1, so CountRS shards even on datasets whose own weights
 // would force MaxRS to fall back.
 func (e *Engine) CountRS(ctx context.Context, d *Dataset, w, h float64, opts ...QueryOption) (Result, error) {
-	return e.solveMapped(ctx, d, w, h, opts, (*query).requestedShards, func(o rec.Object) rec.Object {
+	return e.solveMapped(ctx, d, w, h, opts, kindCountRS, func(o rec.Object) rec.Object {
 		o.W = 1
 		return o
 	})
 }
 
 // solveMapped runs ExactMaxRS on a weight-transformed copy of the dataset
-// with the shard count chosen by shardsOf (the caller decides, because
-// shardability depends on the sign of the *mapped* weights), releasing
+// with the shard count the kind allows (MinRS never shards — the mapped
+// weights are negative; CountRS shards on the requested count regardless
+// of the dataset's own weights — the mapped weights are all 1), releasing
 // the intermediate file on every path (solve errors and cancellation
 // included).
-func (e *Engine) solveMapped(ctx context.Context, d *Dataset, w, h float64, opts []QueryOption, shardsOf func(*query) int, f func(rec.Object) rec.Object) (_ Result, err error) {
+func (e *Engine) solveMapped(ctx context.Context, d *Dataset, w, h float64, opts []QueryOption, kind queryKind, f func(rec.Object) rec.Object) (_ Result, err error) {
 	if err := checkQuery(w, h); err != nil {
 		return Result{}, err
 	}
-	q, err := e.begin(ctx, d, opts)
+	q, err := e.begin(ctx, d, kind, w, h, opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -211,7 +216,11 @@ func (e *Engine) solveMapped(ctx context.Context, d *Dataset, w, h float64, opts
 			err = rerr
 		}
 	}()
-	res, shardStats, err := q.solveObjects(mapped, w, h, shardsOf(q))
+	shards := 0
+	if kind == kindCountRS {
+		shards = q.requestedShards()
+	}
+	res, shardStats, err := q.solveObjects(mapped, w, h, shards)
 	if err != nil {
 		return Result{}, err
 	}

@@ -5,11 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"strconv"
 	"strings"
 
 	"maxrs/internal/em"
+	"maxrs/internal/plan"
 	"maxrs/internal/rec"
 )
 
@@ -41,7 +41,7 @@ func (e *Engine) LoadCSV(r io.Reader) (_ *Dataset, err error) {
 	sc.Buffer(make([]byte, 64<<10), maxCSVLine)
 	n := 0
 	lineNo := 0
-	minW := math.Inf(1)
+	col := plan.NewCollector()
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -55,7 +55,7 @@ func (e *Engine) LoadCSV(r io.Reader) (_ *Dataset, err error) {
 		if err := w.Write(o); err != nil {
 			return nil, err
 		}
-		minW = math.Min(minW, o.W)
+		col.Add(o.X, o.Y, o.W)
 		n++
 	}
 	if err := sc.Err(); err != nil {
@@ -69,7 +69,7 @@ func (e *Engine) LoadCSV(r io.Reader) (_ *Dataset, err error) {
 	if err := w.Close(); err != nil {
 		return nil, err
 	}
-	return &Dataset{file: f, n: n, minW: minW}, nil
+	return &Dataset{file: f, n: n, stats: col.Finalize(e.opts.BlockSize, e.opts.Memory)}, nil
 }
 
 func parseObjectLine(line string) (rec.Object, error) {

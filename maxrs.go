@@ -52,6 +52,7 @@ import (
 	"maxrs/internal/core"
 	"maxrs/internal/em"
 	"maxrs/internal/geom"
+	"maxrs/internal/plan"
 	"maxrs/internal/rec"
 	"maxrs/internal/shard"
 	"maxrs/internal/sweep"
@@ -112,6 +113,18 @@ type Result struct {
 	// the dataset, so Stats ≥ the sum of ShardStats. Nil for unsharded
 	// queries.
 	ShardStats []ShardStat
+	// Plan is the materialized execution decision this query ran under —
+	// the planner's choice for AlgorithmAuto queries (Plan.Auto), the
+	// resolved explicit settings otherwise — with its predicted cost.
+	Plan Plan
+	// PredictedCost is Plan.Predicted, surfaced for direct comparison
+	// against Stats (the measured counts). See DESIGN.md §12.
+	PredictedCost PredictedCost
+	// FallbackReason is non-empty when the query silently did less than
+	// the settings requested — e.g. a sharded request that ran unsharded
+	// because the dataset holds negative weights (DESIGN.md §9.3), or a
+	// non-ExactMaxRS algorithm ignoring WithShards. Empty otherwise.
+	FallbackReason string
 }
 
 // ShardStat is one shard's contribution to a sharded query (DESIGN.md §9).
@@ -134,6 +147,12 @@ type ShardStat struct {
 // additionally depend on the shard count, but on nothing else.
 type QueryStats struct {
 	Reads, Writes uint64
+	// PredictedReads/PredictedWrites are the plan's cost-model prediction
+	// for this query (DESIGN.md §12), riding alongside the measured
+	// counts so prediction-vs-actual deltas are one subtraction away.
+	// Zero in per-shard breakdown entries (the model predicts whole
+	// queries, not slices).
+	PredictedReads, PredictedWrites uint64
 }
 
 // Total returns Reads + Writes — the paper's I/O cost metric.
@@ -158,6 +177,13 @@ const (
 	// InMemory is the RAM-model plane sweep of Imai–Asano (§4); it
 	// ignores the EM budget and is intended for small inputs and tests.
 	InMemory
+	// AlgorithmAuto asks the engine's planner to choose: algorithm,
+	// shard count and fusion are picked by the calibrated cost model over
+	// the dataset's load-time statistics (DESIGN.md §12), and the chosen
+	// plan rides back in Result.Plan. Opt-in — the zero value stays
+	// ExactMaxRS, so existing explicit queries keep bit-identical
+	// transfer schedules.
+	AlgorithmAuto
 )
 
 // String implements fmt.Stringer.
@@ -171,6 +197,8 @@ func (a Algorithm) String() string {
 		return "aSB-Tree"
 	case InMemory:
 		return "InMemory"
+	case AlgorithmAuto:
+		return "Auto"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -408,11 +436,13 @@ func (e *Engine) Close() error { return e.env.Disk.Close() }
 type Dataset struct {
 	file *em.File
 	n    int
-	// minW is the smallest weight in the dataset (+Inf when empty),
-	// recorded at load time: the shard merge's exactness argument needs
-	// nonnegative weights (DESIGN.md §9.3), so queries on a dataset with
-	// any negative weight silently fall back to the unsharded path.
-	minW float64
+	// stats are the load-time dataset statistics (internal/plan),
+	// collected in the loader's streaming pass: the planner's whole
+	// picture of the data, and the home of the smallest weight — the
+	// shard merge's exactness argument needs nonnegative weights
+	// (DESIGN.md §9.3), so queries on a dataset with any negative weight
+	// silently fall back to the unsharded path.
+	stats plan.Stats
 
 	mu       sync.Mutex
 	refs     int  // in-flight queries holding the dataset open
@@ -508,7 +538,7 @@ func (e *Engine) Load(objs []Object) (_ *Dataset, err error) {
 	if err != nil {
 		return nil, err
 	}
-	minW := math.Inf(1)
+	col := plan.NewCollector()
 	for _, o := range objs {
 		if err := checkObject(o.X, o.Y, o.Weight); err != nil {
 			return nil, fmt.Errorf("maxrs: object %+v: %w", o, err)
@@ -516,12 +546,12 @@ func (e *Engine) Load(objs []Object) (_ *Dataset, err error) {
 		if err := w.Write(rec.Object{X: o.X, Y: o.Y, W: o.Weight}); err != nil {
 			return nil, err
 		}
-		minW = math.Min(minW, o.Weight)
+		col.Add(o.X, o.Y, o.Weight)
 	}
 	if err := w.Close(); err != nil {
 		return nil, err
 	}
-	return &Dataset{file: f, n: len(objs), minW: minW}, nil
+	return &Dataset{file: f, n: len(objs), stats: col.Finalize(e.opts.BlockSize, e.opts.Memory)}, nil
 }
 
 // checkObject rejects NaN and ±Inf coordinates/weights — infinities
@@ -602,14 +632,23 @@ type query struct {
 	sc     *em.ScopeStats
 	solver *core.Solver
 	par    int // resolved parallelism (≥ 1) for the shard worker budget
+
+	// plan is the materialized execution decision (DESIGN.md §12):
+	// under AlgorithmAuto the planner's choice (already folded back into
+	// set, so execution downstream is byte-identical to an explicit
+	// query), otherwise the resolved settings with their predicted cost.
+	plan     Plan
+	fallback string // Result.FallbackReason
 }
 
 // begin opens the unified request path: it resolves the call's options
 // against the engine defaults, rejects an already-cancelled context
-// before any work, picks the solver, and acquires the dataset reference.
-// Every error that can be diagnosed without touching the disk surfaces
-// here. The caller must `defer q.end(&err)` on success.
-func (e *Engine) begin(ctx context.Context, d *Dataset, opts []QueryOption) (*query, error) {
+// before any work, acquires the dataset reference, materializes the
+// query's Plan (running the planner for AlgorithmAuto), and picks the
+// solver the planned settings need. Every error that can be diagnosed
+// without touching the disk surfaces here. The caller must
+// `defer q.end(&err)` on success.
+func (e *Engine) begin(ctx context.Context, d *Dataset, kind queryKind, w, h float64, opts []QueryOption) (*query, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -620,14 +659,19 @@ func (e *Engine) begin(ctx context.Context, d *Dataset, opts []QueryOption) (*qu
 	if err := ctx.Err(); err != nil {
 		return nil, wrapCancel(err)
 	}
-	solver, par, err := e.solverFor(set)
-	if err != nil {
-		return nil, err
-	}
 	if err := d.acquire(); err != nil {
 		return nil, err
 	}
-	return &query{e: e, ctx: ctx, d: d, set: set, sc: new(em.ScopeStats), solver: solver, par: par}, nil
+	pl, fallback, _ := e.planQuery(d, kind, w, h, &set, false)
+	solver, par, err := e.solverFor(set)
+	if err != nil {
+		return nil, errors.Join(err, d.release())
+	}
+	pl.Parallelism = par
+	return &query{
+		e: e, ctx: ctx, d: d, set: set, sc: new(em.ScopeStats),
+		solver: solver, par: par, plan: pl, fallback: fallback,
+	}, nil
 }
 
 // end is the deferred tail of every query: it drops the dataset
@@ -648,14 +692,27 @@ func (q *query) env() em.Env {
 }
 
 // result assembles a Result from a finished solve: geometry, per-query
-// stats, and the effective algorithm / shard count actually used.
+// stats, the effective algorithm / shard count actually used, and the
+// plan the query ran under.
 func (q *query) result(res sweep.Result, shards []ShardStat, alg Algorithm) Result {
 	out := fromSweep(res)
 	out.Stats = queryStatsOf(q.sc)
 	out.Algorithm = alg
 	out.Shards = len(shards)
 	out.ShardStats = shards
+	q.annotate(&out)
 	return out
+}
+
+// annotate stamps the query's plan, prediction and fallback reason onto
+// a Result (TopK calls it per round; result covers the single-result
+// queries).
+func (q *query) annotate(out *Result) {
+	out.Plan = q.plan
+	out.PredictedCost = q.plan.Predicted
+	out.FallbackReason = q.fallback
+	out.Stats.PredictedReads = uint64(q.plan.Predicted.Reads)
+	out.Stats.PredictedWrites = uint64(q.plan.Predicted.Writes)
 }
 
 // MaxRS finds a center location for a w×h rectangle maximizing the total
@@ -669,7 +726,7 @@ func (e *Engine) MaxRS(ctx context.Context, d *Dataset, w, h float64, opts ...Qu
 	if err := checkQuery(w, h); err != nil {
 		return Result{}, err
 	}
-	q, err := e.begin(ctx, d, opts)
+	q, err := e.begin(ctx, d, kindMaxRS, w, h, opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -717,7 +774,7 @@ func (q *query) maxRS(w, h float64) (sweep.Result, []ShardStat, Algorithm, error
 // negative-weight objects beyond the halo would inflate its local score
 // — the merge is only exact for nonnegative weights (DESIGN.md §9.3).
 func (q *query) shardsFor() int {
-	if q.d.minW < 0 {
+	if q.d.stats.MinW < 0 {
 		return 0
 	}
 	return q.requestedShards()
@@ -728,13 +785,7 @@ func (q *query) shardsFor() int {
 // a weight-mapped copy whose shardability does not depend on the
 // dataset's own weights (CountRS).
 func (q *query) requestedShards() int {
-	if q.set.shardsSet {
-		return q.set.shards
-	}
-	if k := q.d.Shards(); k > 0 {
-		return k
-	}
-	return q.e.opts.Shards
+	return q.e.requestedShardsFor(q.d, q.set)
 }
 
 // solveObjects runs one ExactMaxRS object solve, sharded K ways when

@@ -20,9 +20,12 @@ import (
 type QueryOption func(*querySettings) error
 
 // WithAlgorithm overrides Options.Algorithm for one query. Only MaxRS
-// honors it (exactly like the engine-level default: TopK, MinRS and
-// CountRS always solve with ExactMaxRS, and MaxCRS's rectangle transform
-// is ExactMaxRS by construction).
+// honors the concrete algorithms (exactly like the engine-level default:
+// TopK, MinRS and CountRS always solve with ExactMaxRS, and MaxCRS's
+// rectangle transform is ExactMaxRS by construction). AlgorithmAuto asks
+// the planner to choose algorithm × shards × fusion from the dataset's
+// load-time statistics (DESIGN.md §12); for the solver-only kinds it
+// still picks the shard count and fusion where the kind allows them.
 func WithAlgorithm(a Algorithm) QueryOption {
 	return func(q *querySettings) error {
 		if !validAlgorithm(a) {
@@ -88,10 +91,11 @@ type querySettings struct {
 	parallelism int // unresolved (0 = GOMAXPROCS), as in Options
 }
 
-// validAlgorithm reports whether a names a known solver.
+// validAlgorithm reports whether a names a known solver (or the planner
+// sentinel AlgorithmAuto).
 func validAlgorithm(a Algorithm) bool {
 	switch a {
-	case ExactMaxRS, NaiveSweep, ASBTree, InMemory:
+	case ExactMaxRS, NaiveSweep, ASBTree, InMemory, AlgorithmAuto:
 		return true
 	}
 	return false

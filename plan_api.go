@@ -1,0 +1,301 @@
+package maxrs
+
+import (
+	"fmt"
+	"runtime"
+
+	"maxrs/internal/plan"
+)
+
+// This file is the public face of the engine's decision layer
+// (internal/plan, DESIGN.md §12): load-time dataset statistics, the
+// calibrated transfer-count cost model, and the planner behind
+// AlgorithmAuto. Every query — explicit algorithm or Auto — flows
+// through a materialized Plan; Result carries it back next to the
+// effective-settings fields.
+
+// DatasetStats are the statistics collected in the loader's single
+// streaming pass (no extra scan, no extra block transfers) and stored on
+// the Dataset. They are the planner's entire picture of the data.
+type DatasetStats struct {
+	// N is the object count; Bytes and Blocks the object file's size on
+	// the engine's disk.
+	N      int64
+	Bytes  int64
+	Blocks int64
+	// MinX..MaxY is the dataset extent.
+	MinX, MaxX float64
+	MinY, MaxY float64
+	// MinW/MaxW/MeanW summarize the weights. MinW < 0 is the condition
+	// that disables exact sharding (DESIGN.md §9.3).
+	MinW, MaxW, MeanW float64
+	// Resident reports that the whole dataset fits in the engine's
+	// memory budget M — the regime where single-scan strategies win.
+	Resident bool
+}
+
+// Stats returns the dataset's load-time statistics.
+func (d *Dataset) Stats() DatasetStats {
+	return DatasetStats{
+		N: d.stats.N, Bytes: d.stats.Bytes, Blocks: d.stats.Blocks,
+		MinX: d.stats.MinX, MaxX: d.stats.MaxX,
+		MinY: d.stats.MinY, MaxY: d.stats.MaxY,
+		MinW: d.stats.MinW, MaxW: d.stats.MaxW, MeanW: d.stats.MeanW(),
+		Resident: d.stats.Resident,
+	}
+}
+
+// PredictedCost is the cost model's transfer-count prediction for a
+// strategy. Exact marks closed-form schedules the calibration tests hold
+// bit-for-bit; the rest are expected values whose measured error is
+// bounded by the calibration matrix (DESIGN.md §12.4).
+type PredictedCost struct {
+	Reads, Writes int64
+	Exact         bool
+}
+
+// Total returns Reads + Writes — the paper's I/O metric, and what the
+// planner ranks candidates by.
+func (c PredictedCost) Total() int64 { return c.Reads + c.Writes }
+
+// Plan is the materialized execution decision of one query: the strategy
+// that ran (or is about to run, in an Explanation) and its predicted
+// cost. Auto distinguishes a planner choice from explicitly resolved
+// settings carried through unchanged.
+type Plan struct {
+	Algorithm   Algorithm
+	Shards      int // effective shard count (fallbacks applied), as requested of the shard planner
+	Unfused     bool
+	Parallelism int // resolved worker budget (≥ 1); never affects transfer counts
+	Auto        bool
+	Predicted   PredictedCost
+}
+
+// PlanCandidate is one row of the planner's candidate table: a strategy,
+// its predicted cost, and whether the planner may pick it. Ineligible
+// rows (baselines whose data-dependent cost the model is too coarse to
+// rank) are kept for explain visibility.
+type PlanCandidate struct {
+	Algorithm Algorithm
+	Shards    int
+	Unfused   bool
+	Predicted PredictedCost
+	Eligible  bool
+	Chosen    bool
+	Note      string
+}
+
+// Explanation is the result of Engine.Explain: the plan a MaxRS query
+// with these options would run, without executing anything.
+type Explanation struct {
+	Plan Plan
+	// FallbackReason is non-empty when the settings requested something
+	// the query would silently not do (see Result.FallbackReason).
+	FallbackReason string
+	Stats          DatasetStats
+	Candidates     []PlanCandidate
+}
+
+// Explain plans a MaxRS query without executing it: no disk transfers,
+// no worker time — just the planner over the dataset's load-time
+// statistics. With AlgorithmAuto (via WithAlgorithm or the engine
+// default) the returned plan is the planner's choice and the candidate
+// table marks the chosen row; with an explicit algorithm the plan
+// reflects the resolved settings and the table shows what the planner
+// would have considered.
+func (e *Engine) Explain(d *Dataset, w, h float64, opts ...QueryOption) (Explanation, error) {
+	if err := checkQuery(w, h); err != nil {
+		return Explanation{}, err
+	}
+	set, err := e.resolveQuery(opts)
+	if err != nil {
+		return Explanation{}, err
+	}
+	if err := d.acquire(); err != nil {
+		return Explanation{}, err
+	}
+	defer func() { _ = d.release() }()
+	pl, fallback, cands := e.planQuery(d, kindMaxRS, w, h, &set, true)
+	out := Explanation{
+		Plan:           pl,
+		FallbackReason: fallback,
+		Stats:          d.Stats(),
+		Candidates:     make([]PlanCandidate, len(cands)),
+	}
+	for i, c := range cands {
+		out.Candidates[i] = PlanCandidate{
+			Algorithm: Algorithm(c.Algorithm),
+			Shards:    c.Shards,
+			Unfused:   c.Unfused,
+			Predicted: PredictedCost{Reads: c.Cost.Reads, Writes: c.Cost.Writes, Exact: c.Cost.Exact},
+			Eligible:  c.Eligible,
+			Chosen:    c.Chosen,
+			Note:      c.Note,
+		}
+	}
+	return out, nil
+}
+
+// queryKind names the five query shapes the plan layer distinguishes:
+// they differ in which strategy dimensions are free (MinRS and MaxCRS
+// never shard, only MaxRS swaps algorithms) and in the kind-specific
+// passes charged on top of the solve.
+type queryKind int
+
+const (
+	kindMaxRS queryKind = iota
+	kindTopK
+	kindMinRS
+	kindCountRS
+	kindMaxCRS
+)
+
+// planStatsFor adapts the dataset statistics to the solve the kind
+// actually runs: MinRS negates every weight, CountRS maps them all to 1
+// — which is exactly why CountRS shards on datasets whose own weights
+// would force MaxRS to fall back.
+func planStatsFor(d *Dataset, kind queryKind) plan.Stats {
+	st := d.stats
+	switch kind {
+	case kindMinRS:
+		st.MinW, st.MaxW = -st.MaxW, -st.MinW
+		st.SumW = -st.SumW
+	case kindCountRS:
+		st.MinW, st.MaxW = 1, 1
+		st.SumW = float64(st.N)
+	}
+	return st
+}
+
+// planSettingsFor builds the cost-model settings for one query kind:
+// the engine's EM geometry, the query rectangle, the kind's strategy
+// restrictions, and its extra passes (charged to every candidate alike,
+// so they never change the ranking — only the absolute prediction).
+func (e *Engine) planSettingsFor(d *Dataset, kind queryKind, w, h float64) plan.Settings {
+	set := plan.Settings{B: e.opts.BlockSize, M: e.opts.Memory, Fanout: e.opts.Fanout, W: w, H: h}
+	switch kind {
+	case kindMinRS:
+		// The weight-negation map pass: read the object file, write the
+		// mapped copy. Negated weights also rule sharding out.
+		set.SolverOnly, set.NoShards = true, true
+		set.ExtraReads, set.ExtraWrites = d.stats.Blocks, d.stats.Blocks
+	case kindCountRS:
+		set.SolverOnly = true
+		set.ExtraReads, set.ExtraWrites = d.stats.Blocks, d.stats.Blocks
+	case kindTopK:
+		// The prediction covers one round's solve over the full dataset;
+		// later rounds solve shrinking filtrates and cost less.
+		set.SolverOnly = true
+	case kindMaxCRS:
+		// The inner MaxRS on the bounding squares is ExactMaxRS by
+		// construction and stays unsharded; the candidate scan streams
+		// the object file once more.
+		set.SolverOnly, set.NoShards = true, true
+		set.ExtraReads = d.stats.Blocks
+	}
+	return set
+}
+
+// planQuery materializes the query's Plan. Under AlgorithmAuto it runs
+// the planner and rewrites set to the chosen strategy (so the execution
+// path downstream is byte-identical to an explicit query with those
+// settings); otherwise set passes through untouched and only the
+// prediction is computed. The candidate table is built when wantCands
+// (Explain); begin skips it.
+func (e *Engine) planQuery(d *Dataset, kind queryKind, w, h float64, set *querySettings, wantCands bool) (Plan, string, []plan.Candidate) {
+	pst := planStatsFor(d, kind)
+	pset := e.planSettingsFor(d, kind, w, h)
+	auto := set.algorithm == AlgorithmAuto
+	var cands []plan.Candidate
+	if auto {
+		var strat plan.Strategy
+		strat, cands = plan.Choose(pst, pset)
+		set.algorithm = Algorithm(strat.Algorithm)
+		set.shards, set.shardsSet = strat.Shards, true
+		set.unfused = strat.Unfused
+	} else if wantCands {
+		cands = plan.Candidates(pst, pset)
+	}
+	eff := e.effectiveStrategy(d, kind, *set)
+	cost := plan.Estimate(pst, pset, eff)
+	if !auto {
+		for i := range cands {
+			if cands[i].Strategy == eff {
+				cands[i].Chosen = true
+				break
+			}
+		}
+	}
+	par := set.parallelism
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	pl := Plan{
+		Algorithm:   Algorithm(eff.Algorithm),
+		Shards:      eff.Shards,
+		Unfused:     eff.Unfused,
+		Parallelism: par,
+		Auto:        auto,
+		Predicted:   PredictedCost{Reads: cost.Reads, Writes: cost.Writes, Exact: cost.Exact},
+	}
+	if !wantCands {
+		cands = nil
+	}
+	return pl, e.fallbackReason(d, kind, *set), cands
+}
+
+// effectiveStrategy applies the kind's execution rules to the resolved
+// settings, yielding the strategy that will actually run — the one the
+// prediction must be for. It mirrors the dispatch in maxRS/TopK/
+// solveMapped/MaxCRS exactly.
+func (e *Engine) effectiveStrategy(d *Dataset, kind queryKind, set querySettings) plan.Strategy {
+	alg := set.algorithm
+	if kind != kindMaxRS {
+		alg = ExactMaxRS // TopK, MinRS, CountRS and MaxCRS only ever solve with ExactMaxRS
+	}
+	k := 0
+	switch kind {
+	case kindMaxRS, kindTopK:
+		if alg == ExactMaxRS && d.stats.MinW >= 0 {
+			k = e.requestedShardsFor(d, set)
+		}
+	case kindCountRS:
+		k = e.requestedShardsFor(d, set)
+	}
+	return plan.Strategy{Algorithm: plan.Algorithm(alg), Shards: k, Unfused: set.unfused}
+}
+
+// requestedShardsFor is the shard-count resolution chain — query option,
+// dataset override, engine default — without the exactness guards.
+func (e *Engine) requestedShardsFor(d *Dataset, set querySettings) int {
+	if set.shardsSet {
+		return set.shards
+	}
+	if k := d.Shards(); k > 0 {
+		return k
+	}
+	return e.opts.Shards
+}
+
+// fallbackReason explains — in Result.FallbackReason — why a query that
+// requested sharding ran unsharded. Empty when nothing was overridden.
+func (e *Engine) fallbackReason(d *Dataset, kind queryKind, set querySettings) string {
+	if e.requestedShardsFor(d, set) <= 0 {
+		return ""
+	}
+	switch kind {
+	case kindMinRS:
+		return "MinRS never shards: weight negation produces negative weights, for which the shard merge is not exact (DESIGN.md §9.3)"
+	case kindMaxCRS:
+		return "MaxCRS never shards: the rectangle transform runs unsharded by construction"
+	case kindCountRS:
+		return "" // COUNT weights are all 1; sharding proceeds
+	}
+	if set.algorithm != ExactMaxRS {
+		return fmt.Sprintf("algorithm %v ignores sharding: only ExactMaxRS shards", set.algorithm)
+	}
+	if d.stats.MinW < 0 {
+		return "dataset holds negative weights: the shard merge is only exact for nonnegative weights (DESIGN.md §9.3); ran unsharded"
+	}
+	return ""
+}

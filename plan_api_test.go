@@ -1,0 +1,224 @@
+package maxrs_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"maxrs"
+)
+
+func planTestEngine(t *testing.T, opts *maxrs.Options) (*maxrs.Engine, *maxrs.Dataset) {
+	t.Helper()
+	if opts == nil {
+		opts = &maxrs.Options{BlockSize: 512, Memory: 8192}
+	}
+	eng, err := maxrs.NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	d, err := eng.Load([]maxrs.Object{
+		{X: 1, Y: 1, Weight: 1}, {X: 2, Y: 2, Weight: 5},
+		{X: 3, Y: 1, Weight: 1}, {X: 90, Y: 90, Weight: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, d
+}
+
+func TestDatasetStats(t *testing.T) {
+	_, d := planTestEngine(t, nil)
+	st := d.Stats()
+	if st.N != 4 || st.MinX != 1 || st.MaxX != 90 || st.MinY != 1 || st.MaxY != 90 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MinW != 1 || st.MaxW != 5 || st.MeanW != 9.0/4 {
+		t.Fatalf("weight stats = %+v", st)
+	}
+	if st.Bytes <= 0 || st.Blocks <= 0 || !st.Resident {
+		t.Fatalf("size stats = %+v, want resident", st)
+	}
+}
+
+// TestExplainDoesNoIO: Explain is pure planning — not one block transfer.
+func TestExplainDoesNoIO(t *testing.T) {
+	eng, d := planTestEngine(t, nil)
+	eng.ResetStats()
+	ex, err := eng.Explain(d, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if io := eng.Stats(); io.Reads != 0 || io.Writes != 0 {
+		t.Fatalf("Explain performed I/O: %+v", io)
+	}
+	if len(ex.Candidates) == 0 {
+		t.Fatal("no candidates")
+	}
+	chosen := 0
+	for _, c := range ex.Candidates {
+		if c.Chosen {
+			chosen++
+		}
+	}
+	if chosen != 1 {
+		t.Fatalf("%d rows chosen, want 1", chosen)
+	}
+	if ex.Plan.Auto {
+		t.Fatal("default engine plan marked Auto")
+	}
+	if ex.Stats.N != 4 {
+		t.Fatalf("explanation stats = %+v", ex.Stats)
+	}
+}
+
+func TestExplainReleasedDataset(t *testing.T) {
+	eng, d := planTestEngine(t, nil)
+	if err := d.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Explain(d, 4, 4); !errors.Is(err, maxrs.ErrDatasetReleased) {
+		t.Fatalf("err = %v, want ErrDatasetReleased", err)
+	}
+	if _, err := eng.Explain(d, 0, 4); !errors.Is(err, maxrs.ErrInvalidQuery) {
+		t.Fatalf("err = %v, want ErrInvalidQuery before acquire", err)
+	}
+}
+
+// TestResultCarriesPlan: every query kind comes back with its
+// materialized plan and a prediction next to the measured stats.
+func TestResultCarriesPlan(t *testing.T) {
+	ctx := context.Background()
+	eng, d := planTestEngine(t, nil)
+
+	res, err := eng.MaxRS(ctx, d, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Algorithm != maxrs.ExactMaxRS || res.Plan.Auto {
+		t.Fatalf("plan = %+v, want explicit ExactMaxRS", res.Plan)
+	}
+	if res.Plan.Parallelism < 1 {
+		t.Fatalf("plan parallelism = %d", res.Plan.Parallelism)
+	}
+	if res.PredictedCost != res.Plan.Predicted {
+		t.Fatal("Result.PredictedCost diverges from Plan.Predicted")
+	}
+	if res.Stats.PredictedReads != uint64(res.PredictedCost.Reads) ||
+		res.Stats.PredictedWrites != uint64(res.PredictedCost.Writes) {
+		t.Fatalf("QueryStats prediction fields = %+v", res.Stats)
+	}
+
+	topk, err := eng.TopK(ctx, d, 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range topk {
+		if r.Plan.Algorithm != maxrs.ExactMaxRS || r.PredictedCost.Total() <= 0 {
+			t.Fatalf("topk round %d plan = %+v predicted %+v", i, r.Plan, r.PredictedCost)
+		}
+	}
+
+	minrs, err := eng.MinRS(ctx, d, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minrs.Plan.Shards != 0 || minrs.PredictedCost.Total() <= 0 {
+		t.Fatalf("minrs plan = %+v predicted %+v", minrs.Plan, minrs.PredictedCost)
+	}
+
+	crs, err := eng.MaxCRS(ctx, d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crs.Plan.Algorithm != maxrs.ExactMaxRS || crs.Plan.Shards != 0 || crs.PredictedCost.Total() <= 0 {
+		t.Fatalf("maxcrs plan = %+v predicted %+v", crs.Plan, crs.PredictedCost)
+	}
+}
+
+// TestFallbackReasons: every silent "ran less than requested" path names
+// itself; clean queries stay silent.
+func TestFallbackReasons(t *testing.T) {
+	ctx := context.Background()
+	eng, err := maxrs.NewEngine(&maxrs.Options{BlockSize: 512, Memory: 8192, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	pos, err := eng.Load([]maxrs.Object{{X: 1, Y: 1, Weight: 1}, {X: 2, Y: 2, Weight: 5}, {X: 3, Y: 1, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg, err := eng.Load([]maxrs.Object{{X: 1, Y: 1, Weight: 2}, {X: 2, Y: 2, Weight: -1}, {X: 3, Y: 1, Weight: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res, err := eng.MaxRS(ctx, pos, 4, 4); err != nil || res.FallbackReason != "" {
+		t.Fatalf("clean sharded maxrs: err %v reason %q", err, res.FallbackReason)
+	}
+	res, err := eng.MaxRS(ctx, neg, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.FallbackReason, "negative weights") || res.Shards != 0 {
+		t.Fatalf("negative-weight fallback: shards %d reason %q", res.Shards, res.FallbackReason)
+	}
+	if res, err := eng.MinRS(ctx, pos, 4, 4); err != nil || !strings.Contains(res.FallbackReason, "MinRS never shards") {
+		t.Fatalf("minrs fallback: err %v reason %q", err, res.FallbackReason)
+	}
+	if res, err := eng.CountRS(ctx, neg, 4, 4); err != nil || res.FallbackReason != "" {
+		t.Fatalf("countrs on negative weights shards fine: err %v reason %q", err, res.FallbackReason)
+	}
+	if res, err := eng.MaxCRS(ctx, pos, 4); err != nil || !strings.Contains(res.FallbackReason, "MaxCRS never shards") {
+		t.Fatalf("maxcrs fallback: err %v reason %q", err, res.FallbackReason)
+	}
+	if res, err := eng.MaxRS(ctx, pos, 4, 4, maxrs.WithAlgorithm(maxrs.InMemory)); err != nil || !strings.Contains(res.FallbackReason, "ignores sharding") {
+		t.Fatalf("baseline-algorithm fallback: err %v reason %q", err, res.FallbackReason)
+	}
+
+	// Without a shard request there is nothing to explain away.
+	if res, err := eng.MinRS(ctx, pos, 4, 4, maxrs.WithShards(0)); err != nil || res.FallbackReason != "" {
+		t.Fatalf("unsharded minrs: err %v reason %q", err, res.FallbackReason)
+	}
+}
+
+// TestAutoOnResident: the planner routes a resident dataset to the
+// single-scan strategy and the result says so.
+func TestAutoOnResident(t *testing.T) {
+	ctx := context.Background()
+	eng, d := planTestEngine(t, nil)
+	res, err := eng.MaxRS(ctx, d, 4, 4, maxrs.WithAlgorithm(maxrs.AlgorithmAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Plan.Auto || res.Plan.Algorithm != maxrs.InMemory {
+		t.Fatalf("auto plan on resident data = %+v, want InMemory", res.Plan)
+	}
+	if res.Score != 7 {
+		t.Fatalf("auto score = %g, want 7", res.Score)
+	}
+	if !res.PredictedCost.Exact || res.Stats.Total() != uint64(res.PredictedCost.Total()) {
+		t.Fatalf("resident scan prediction %+v vs measured %+v, want exact match", res.PredictedCost, res.Stats)
+	}
+
+	// Engine-wide Auto via Options.Algorithm behaves identically.
+	auto, err := maxrs.NewEngine(&maxrs.Options{BlockSize: 512, Memory: 8192, Algorithm: maxrs.AlgorithmAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { auto.Close() })
+	d2, err := auto.Load([]maxrs.Object{{X: 1, Y: 1, Weight: 1}, {X: 2, Y: 2, Weight: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := auto.MaxRS(ctx, d2, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Plan.Auto || res2.Algorithm != maxrs.InMemory {
+		t.Fatalf("engine-default auto result = alg %v plan %+v", res2.Algorithm, res2.Plan)
+	}
+}
