@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"maxrs"
+	"maxrs/internal/dist"
+	"maxrs/internal/geom"
+)
+
+// This file is maxrsd's half of the cluster protocol (DESIGN.md §13):
+// the worker side serves POST /shard/solve — a self-contained shard
+// solve shipped by a coordinator — and the coordinator side exposes the
+// membership table over /cluster/workers so workers can join and leave
+// a running cluster without a restart.
+
+// maxShardBody bounds a /shard/solve body: a halo-extended partition's
+// objects in JSON (same ceiling as a CSV upload).
+const maxShardBody = maxUpload
+
+// handleShardSolve answers one shard of a coordinator's distributed
+// query. The shard request is self-contained (the worker holds no
+// dataset state), so it runs through the same admission control, queue,
+// drain handling, and context plumbing as a client query — a saturated
+// worker sheds shards with 429 + Retry-After and the coordinator's
+// retry layer reroutes them, rather than queueing unboundedly under a
+// coordinator's fan-out.
+func (s *server) handleShardSolve(w http.ResponseWriter, r *http.Request) {
+	if !s.admit() {
+		s.shed(w)
+		return
+	}
+	defer s.done()
+	ctx, stop := s.queryContext(r, s.timeout)
+	defer stop()
+	if err := s.acquire(ctx); err != nil {
+		code := http.StatusServiceUnavailable
+		if errors.Is(err, context.DeadlineExceeded) {
+			code = http.StatusGatewayTimeout
+		}
+		httpError(w, code, "queue wait: %v", err)
+		return
+	}
+	defer s.release()
+	r.Body = http.MaxBytesReader(w, r.Body, maxShardBody)
+	req, err := dist.DecodeRequest(r)
+	if err != nil {
+		// In-flight damage is retryable — the coordinator's resend carries
+		// clean bytes — while a genuinely malformed request is not.
+		if errors.Is(err, dist.ErrBadChecksum) {
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	reply, err := s.solveShard(ctx, req)
+	if err != nil {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, maxrs.ErrInvalidQuery):
+			code = http.StatusBadRequest
+		case errors.Is(err, context.DeadlineExceeded):
+			code = http.StatusGatewayTimeout
+		case errors.Is(err, maxrs.ErrQueryCancelled):
+			code = http.StatusServiceUnavailable
+		}
+		httpError(w, code, "shard solve: %v", err)
+		return
+	}
+	_ = dist.WriteReply(w, reply) // write errors mean the client is gone
+}
+
+// solveShard runs one shipped shard through the engine: load the
+// objects onto the worker's disk, solve the exact MaxRS unsharded (the
+// shard is already a partition; re-sharding or re-distributing it would
+// be circular), and report the worker-side I/O. ExactMaxRS is exact for
+// any block size, memory budget, and parallelism, so the reply is
+// bit-identical to the coordinator solving the same partition itself —
+// the property the whole distributed mode rests on.
+func (s *server) solveShard(ctx context.Context, req dist.SolveRequest) (dist.SolveReply, error) {
+	objs := make([]maxrs.Object, len(req.Objects))
+	for i, o := range req.Objects {
+		objs[i] = maxrs.Object{X: o.X, Y: o.Y, Weight: o.W}
+	}
+	ds, err := s.eng.Load(objs)
+	if err != nil {
+		return dist.SolveReply{}, err
+	}
+	defer func() { _ = ds.Release() }()
+	res, err := s.eng.MaxRS(ctx, ds, req.W, req.H,
+		maxrs.WithAlgorithm(maxrs.ExactMaxRS),
+		maxrs.WithShards(0),
+		maxrs.WithUnfused(req.Unfused),
+		maxrs.WithDistributed(false),
+	)
+	if err != nil {
+		return dist.SolveReply{}, err
+	}
+	return dist.SolveReply{
+		Sum: res.Score,
+		Region: geom.Rect{
+			X: geom.Interval{Lo: res.Region.MinX, Hi: res.Region.MaxX},
+			Y: geom.Interval{Lo: res.Region.MinY, Hi: res.Region.MaxY},
+		},
+		Reads:  res.Stats.Reads,
+		Writes: res.Stats.Writes,
+	}, nil
+}
+
+// workerJSON is the /cluster/workers wire form of one member.
+type workerJSON struct {
+	Name     string `json:"name"`
+	URL      string `json:"url"`
+	Ready    bool   `json:"ready"`
+	Failures int    `json:"failures,omitempty"`
+}
+
+type workerListResponse struct {
+	Workers []workerJSON `json:"workers"`
+}
+
+func (s *server) handleListWorkers(w http.ResponseWriter, _ *http.Request) {
+	ws := s.eng.Workers()
+	out := workerListResponse{Workers: make([]workerJSON, 0, len(ws))}
+	for _, wk := range ws {
+		out.Workers = append(out.Workers, workerJSON{
+			Name: wk.Name, URL: wk.URL, Ready: wk.Ready, Failures: wk.Failures,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleAddWorker registers (or re-registers) a worker at runtime —
+// the endpoint a worker started with -join posts to.
+func (s *server) handleAddWorker(w http.ResponseWriter, r *http.Request) {
+	var req workerJSON
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBody)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.URL == "" {
+		httpError(w, http.StatusBadRequest, "worker registration needs a url")
+		return
+	}
+	if !s.eng.RegisterWorker(req.Name, req.URL) {
+		httpError(w, http.StatusPreconditionFailed,
+			"not a coordinator (start maxrsd with -peers or -coordinator)")
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"registered": req.URL})
+}
+
+func (s *server) handleRemoveWorker(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.eng.RemoveWorker(name) {
+		httpError(w, http.StatusNotFound, "no worker %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"removed": name})
+}
+
+// joinCluster announces this worker to a coordinator, retrying briefly:
+// at startup the coordinator may not be listening yet, and a worker that
+// gives up on the first connection refusal defeats the point of dynamic
+// membership. The coordinator's prober takes over liveness from here.
+func joinCluster(coordinator, name, advertise string) error {
+	body, err := json.Marshal(workerJSON{Name: name, URL: advertise})
+	if err != nil {
+		return err
+	}
+	target := strings.TrimSuffix(coordinator, "/") + "/cluster/workers"
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 500 * time.Millisecond)
+		}
+		resp, err := http.Post(target, "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode/100 == 2 {
+			return nil
+		}
+		lastErr = fmt.Errorf("coordinator answered %s", resp.Status)
+		if resp.StatusCode == http.StatusPreconditionFailed {
+			break // the target is not a coordinator; retrying cannot help
+		}
+	}
+	return fmt.Errorf("join %s: %w", coordinator, lastErr)
+}

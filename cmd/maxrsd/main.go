@@ -9,6 +9,20 @@
 //	maxrsd -addr=:8080 -workers=8 -cache=1024
 //	maxrsd -ondisk -ondiskdir=/var/tmp      # datasets larger than RAM
 //
+// Cluster mode (DESIGN.md §13) — a coordinator fans sharded queries out
+// to worker instances and merges exactly; workers are plain maxrsd
+// processes (every instance serves /shard/solve):
+//
+//	maxrsd -addr=:8081                                   # worker A
+//	maxrsd -addr=:8082                                   # worker B
+//	maxrsd -addr=:8080 -shards=2 \
+//	       -peers=a=http://localhost:8081,b=http://localhost:8082
+//
+// or start the coordinator empty (-coordinator) and have workers join:
+//
+//	maxrsd -addr=:8081 -join=http://localhost:8080 \
+//	       -advertise=http://localhost:8081 -name=a
+//
 // API:
 //
 //	GET    /healthz                 liveness (alias of /livez)
@@ -33,6 +47,11 @@
 //	POST   /query?explain=1         plan the query without executing it:
 //	                                returns the chosen plan, predicted
 //	                                cost, and candidate table (maxrs/topk)
+//	POST   /shard/solve             solve one shipped shard (cluster
+//	                                internal; checksummed JSON)
+//	GET    /cluster/workers         membership table (coordinator)
+//	POST   /cluster/workers         register a worker {"name","url"}
+//	DELETE /cluster/workers/{name}  remove a worker
 //
 // Under overload the server degrades instead of queueing unboundedly:
 // once -workers queries execute and -queue more wait, further cache
@@ -55,6 +74,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -63,29 +83,76 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrently executing queries (further requests queue)")
-		cacheSize = flag.Int("cache", 1024, "LRU capacity of cached query results (0 disables)")
-		blockSize = flag.Int("block", 4096, "EM block size B in bytes")
-		memory    = flag.Int("mem", 1<<20, "EM memory budget M in bytes")
-		parallel  = flag.Int("parallel", 0, "solver worker goroutines shared by all queries (0 = GOMAXPROCS)")
-		shards    = flag.Int("shards", 0, "default shard count for object queries (0 = unsharded; PUT ?shards=K overrides per dataset)")
-		onDisk    = flag.Bool("ondisk", false, "back blocks with a temp file instead of process memory")
-		onDiskDir = flag.String("ondiskdir", "", "directory for the -ondisk backing file (default: system temp)")
-		dataDir   = flag.String("datadir", "", "directory PUT /datasets/{name}?path= may read CSV files from (empty disables server-local loads)")
-		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline: in-flight queries get this long to finish before they are cancelled")
-		timeout   = flag.Duration("timeout", 0, "per-query deadline ceiling (0 = none; ?timeout= may tighten but not exceed it)")
-		queue     = flag.Int("queue", -1, "max queries waiting for a worker before shedding with 429 (-1 = 4×workers, 0 = shed once all workers busy)")
-		retries   = flag.Int("retries", 0, "retries per block transfer on transient storage faults and checksum mismatches (0 = fail fast)")
-		retryBase = flag.Duration("retrybase", time.Millisecond, "initial retry backoff (doubles per attempt)")
-		retryMax  = flag.Duration("retrymax", 100*time.Millisecond, "retry backoff cap (0 = uncapped)")
-		checksums = flag.Bool("checksums", false, "verify per-block CRC32C checksums on every read")
-		auto      = flag.Bool("auto", false, "let the cost model pick algorithm/shards/fusion per query (AlgorithmAuto)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrently executing queries (further requests queue)")
+		cacheSize   = flag.Int("cache", 1024, "LRU capacity of cached query results (0 disables)")
+		blockSize   = flag.Int("block", 4096, "EM block size B in bytes")
+		memory      = flag.Int("mem", 1<<20, "EM memory budget M in bytes")
+		parallel    = flag.Int("parallel", 0, "solver worker goroutines shared by all queries (0 = GOMAXPROCS)")
+		shards      = flag.Int("shards", 0, "default shard count for object queries (0 = unsharded; PUT ?shards=K overrides per dataset)")
+		onDisk      = flag.Bool("ondisk", false, "back blocks with a temp file instead of process memory")
+		onDiskDir   = flag.String("ondiskdir", "", "directory for the -ondisk backing file (default: system temp)")
+		dataDir     = flag.String("datadir", "", "directory PUT /datasets/{name}?path= may read CSV files from (empty disables server-local loads)")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline: in-flight queries get this long to finish before they are cancelled")
+		timeout     = flag.Duration("timeout", 0, "per-query deadline ceiling (0 = none; ?timeout= may tighten but not exceed it)")
+		queue       = flag.Int("queue", -1, "max queries waiting for a worker before shedding with 429 (-1 = 4×workers, 0 = shed once all workers busy)")
+		retries     = flag.Int("retries", 0, "retries per block transfer on transient storage faults and checksum mismatches (0 = fail fast)")
+		retryBase   = flag.Duration("retrybase", time.Millisecond, "initial retry backoff (doubles per attempt)")
+		retryMax    = flag.Duration("retrymax", 100*time.Millisecond, "retry backoff cap (0 = uncapped)")
+		retryJitter = flag.Int64("retryjitter", 0, "seed for decorrelated-jitter retry backoff, storage and worker calls alike (0 = plain doubling)")
+		checksums   = flag.Bool("checksums", false, "verify per-block CRC32C checksums on every read")
+		auto        = flag.Bool("auto", false, "let the cost model pick algorithm/shards/fusion per query (AlgorithmAuto)")
+
+		// Cluster role flags (DESIGN.md §13). Coordinator side:
+		peers       = flag.String("peers", "", "comma-separated workers to fan sharded queries out to, each url or name=url (enables distributed execution)")
+		coordinator = flag.Bool("coordinator", false, "enable distributed execution with an (initially) empty membership; workers join via -join or POST /cluster/workers")
+		probe       = flag.Duration("probe", 5*time.Second, "worker /readyz probe interval on a coordinator (0 disables background probing)")
+		hedge       = flag.Duration("hedge", 0, "hedge delay: a shard call unanswered this long is duplicated to another worker (0 disables hedging)")
+		hedgeMax    = flag.Int("hedgemax", 1, "max hedged duplicates per query")
+		distRetries = flag.Int("distretries", 2, "retries per shard call on transient network faults")
+		distBase    = flag.Duration("distretrybase", 50*time.Millisecond, "initial shard-call retry backoff")
+		distMax     = flag.Duration("distretrymax", 2*time.Second, "shard-call retry backoff cap")
+		noFallback  = flag.Bool("nolocalfallback", false, "fail shards typed (ErrShardUnavailable) instead of solving lost shards from the local halo replica")
+		// Worker side:
+		join      = flag.String("join", "", "coordinator base URL to register with at startup (worker role; requires -advertise)")
+		advertise = flag.String("advertise", "", "this server's base URL as the coordinator should dial it, e.g. http://10.0.0.7:8081")
+		name      = flag.String("name", "", "worker name for -join registration and attribution (default: the -advertise URL)")
 	)
 	flag.Parse()
 	algorithm := maxrs.ExactMaxRS
 	if *auto {
 		algorithm = maxrs.AlgorithmAuto
+	}
+	if *join != "" && *advertise == "" {
+		fmt.Fprintln(os.Stderr, "maxrsd: -join requires -advertise (the URL the coordinator dials this worker at)")
+		os.Exit(1)
+	}
+	// -peers / -coordinator turn this instance into a coordinator:
+	// sharded queries fan out to the registered workers instead of
+	// solving every shard in process.
+	var distOpts *maxrs.DistOptions
+	if *peers != "" || *coordinator {
+		distOpts = &maxrs.DistOptions{
+			Retry: maxrs.RetryPolicy{
+				MaxRetries: *distRetries,
+				BaseDelay:  *distBase,
+				MaxDelay:   *distMax,
+				JitterSeed: *retryJitter,
+			},
+			Hedge:                maxrs.HedgePolicy{Delay: *hedge, Max: *hedgeMax},
+			ProbeInterval:        *probe,
+			DisableLocalFallback: *noFallback,
+		}
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p == "" {
+				continue
+			}
+			wname, url := "", p
+			if i := strings.Index(p, "="); i >= 0 {
+				wname, url = p[:i], p[i+1:]
+			}
+			distOpts.Workers = append(distOpts.Workers, maxrs.WorkerAddr{Name: wname, URL: url})
+		}
 	}
 	eng, err := maxrs.NewEngine(&maxrs.Options{
 		Algorithm:   algorithm,
@@ -100,7 +167,9 @@ func main() {
 			MaxRetries: *retries,
 			BaseDelay:  *retryBase,
 			MaxDelay:   *retryMax,
+			JitterSeed: *retryJitter,
 		},
+		Dist: distOpts,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "maxrsd: %v\n", err)
@@ -118,6 +187,22 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
+
+	// A worker announces itself once it is serving; the coordinator's
+	// prober owns its liveness from then on.
+	if *join != "" {
+		go func() {
+			wname := *name
+			if wname == "" {
+				wname = *advertise
+			}
+			if err := joinCluster(*join, wname, *advertise); err != nil {
+				log.Printf("maxrsd: %v", err)
+				return
+			}
+			log.Printf("maxrsd: joined cluster at %s as %s", *join, wname)
+		}()
+	}
 
 	// Drain on SIGINT/SIGTERM so in-flight queries finish and the engine
 	// is closed — with -ondisk that removes the backing temp file, which

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"maxrs"
+	"maxrs/internal/dist"
 )
 
 // server is the maxrsd serving layer: one shared concurrency-safe Engine,
@@ -51,6 +52,14 @@ type server struct {
 	hardStop      context.Context
 	cancelQueries context.CancelFunc
 
+	// drainCh closes when startDrain fires, releasing every query still
+	// queued for a worker: a queued query has done no work, its client
+	// was already told (via /readyz) to go elsewhere, and holding it
+	// through the drain would only delay shutdown. Executing queries are
+	// unaffected until the drain deadline.
+	drainCh   chan struct{}
+	drainOnce sync.Once
+
 	mu       sync.RWMutex
 	datasets map[string]*dsEntry
 	nextGen  atomic.Uint64
@@ -76,6 +85,7 @@ func newServer(eng *maxrs.Engine, workers, cacheSize int) *server {
 		queue:         4 * workers,
 		hardStop:      hardStop,
 		cancelQueries: cancel,
+		drainCh:       make(chan struct{}),
 		datasets:      make(map[string]*dsEntry),
 	}
 }
@@ -84,8 +94,41 @@ func newServer(eng *maxrs.Engine, workers, cacheSize int) *server {
 func (s *server) markReady() { s.ready.Store(true) }
 
 // startDrain flips /readyz to 503 ahead of shutdown, so load balancers
-// stop routing new queries while in-flight ones drain.
-func (s *server) startDrain() { s.draining.Store(true) }
+// stop routing new queries while in-flight ones drain, and releases
+// every query still queued for a worker (see drainCh).
+func (s *server) startDrain() {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
+
+// errDraining rejects a queued query once the drain starts.
+var errDraining = errors.New("server draining; retry against another replica")
+
+// retryAfterSeconds derives the 429 Retry-After hint from the actual
+// backlog: a saturated pool with an empty queue clears in about one
+// query's time (1s floor), and every poolful of queued work adds another
+// second. Capped at 30s so a transient spike never parks clients for
+// minutes. A hardcoded hint herds every shed client back simultaneously;
+// a load-derived one spreads them over the time the backlog needs.
+func (s *server) retryAfterSeconds() int {
+	pool := int64(cap(s.sem))
+	excess := s.inflight.Load() - pool // queries waiting beyond the pool
+	if excess < 0 {
+		excess = 0
+	}
+	secs := 1 + excess/pool
+	if secs > 30 {
+		secs = 30
+	}
+	return int(secs)
+}
+
+// shed refuses one request with 429 + a load-derived Retry-After.
+func (s *server) shed(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	httpError(w, http.StatusTooManyRequests,
+		"server saturated: %d queries executing or queued; retry later", s.inflight.Load())
+}
 
 // admit claims an admission slot: at most workers+queue /query requests
 // may be in flight (executing or waiting for a worker). Returns false
@@ -159,6 +202,13 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("PUT /datasets/{name}", s.handlePutDataset)
 	mux.HandleFunc("DELETE /datasets/{name}", s.handleDeleteDataset)
 	mux.HandleFunc("POST /query", s.handleQuery)
+	// Cluster protocol (DESIGN.md §13): every maxrsd can serve shards —
+	// worker is a role per request, not a build — and the membership
+	// endpoints answer usefully only on a coordinator.
+	mux.HandleFunc("POST "+dist.PathSolve, s.handleShardSolve)
+	mux.HandleFunc("GET /cluster/workers", s.handleListWorkers)
+	mux.HandleFunc("POST /cluster/workers", s.handleAddWorker)
+	mux.HandleFunc("DELETE /cluster/workers/{name}", s.handleRemoveWorker)
 	return mux
 }
 
@@ -217,6 +267,12 @@ type statsResponse struct {
 	// rather than an exact key match.
 	CacheReuseHits uint64 `json:"cache_reuse_hits"`
 	CacheEntries   int    `json:"cache_entries"`
+	// Workers/WorkersReady size the membership table on a coordinator
+	// (omitted on plain servers and workers).
+	Workers      int `json:"workers,omitempty"`
+	WorkersReady int `json:"workers_ready,omitempty"`
+	// NetCalls counts worker calls made by distributed queries.
+	NetCalls uint64 `json:"net_calls,omitempty"`
 }
 
 // cacheStatsJSON is the cache counter block shared by /stats consumers
@@ -239,12 +295,20 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	n := len(s.datasets)
 	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, statsResponse{
+	out := statsResponse{
 		Reads: st.Reads, Writes: st.Writes, Total: st.Total(),
 		BlocksInUse: s.eng.BlocksInUse(), Datasets: n,
 		CacheHits: cs.Hits, CacheMisses: cs.Misses,
 		CacheReuseHits: cs.ReuseHits, CacheEntries: cs.Entries,
-	})
+		NetCalls: s.eng.NetFaultStats().Calls,
+	}
+	for _, wk := range s.eng.Workers() {
+		out.Workers++
+		if wk.Ready {
+			out.WorkersReady++
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // datasetStatsJSON mirrors maxrs.DatasetStats — the statistics collected
@@ -402,10 +466,22 @@ type statsJSON struct {
 	Total  uint64 `json:"total"`
 }
 
-// shardStatJSON is one shard's slice of a sharded query's cost.
+// shardStatJSON is one shard's slice of a sharded query's cost, plus —
+// for distributed queries — the attribution of where and how the shard
+// was solved: which worker answered, how many network attempts it took,
+// and whether the shard was hedged or fell back to the coordinator's
+// halo replica.
 type shardStatJSON struct {
-	Objects int64     `json:"objects"`
-	Stats   statsJSON `json:"stats"`
+	Objects  int64     `json:"objects"`
+	Stats    statsJSON `json:"stats"`
+	Worker   string    `json:"worker,omitempty"`
+	Attempts int       `json:"attempts,omitempty"`
+	Hedged   bool      `json:"hedged,omitempty"`
+	FellBack bool      `json:"fell_back,omitempty"`
+	// Remote is the worker-reported I/O of the remote solve (the local
+	// Stats cover only the coordinator-side partition traffic).
+	Remote *statsJSON `json:"remote_stats,omitempty"`
+	Error  string     `json:"error,omitempty"`
 }
 
 // costJSON is a cost-model prediction (block transfers).
@@ -453,6 +529,9 @@ type queryResult struct {
 	// (datasets loaded with ?shards=K or a -shards server default);
 	// omitted for unsharded queries.
 	Shards []shardStatJSON `json:"shards,omitempty"`
+	// Distributed marks a query whose shards were fanned out to worker
+	// maxrsd instances (-peers / -coordinator).
+	Distributed bool `json:"distributed,omitempty"`
 }
 
 type queryResponse struct {
@@ -474,21 +553,47 @@ func fromResult(r maxrs.Result) queryResult {
 		Stats:          statsJSON{Reads: r.Stats.Reads, Writes: r.Stats.Writes, Total: r.Stats.Total()},
 		Plan:           &pl,
 		FallbackReason: r.FallbackReason,
+		Distributed:    r.Distributed,
 	}
-	for _, s := range r.ShardStats {
-		out.Shards = append(out.Shards, shardStatJSON{
-			Objects: s.Objects,
-			Stats:   statsJSON{Reads: s.Stats.Reads, Writes: s.Stats.Writes, Total: s.Stats.Total()},
-		})
+	for _, sh := range r.ShardStats {
+		j := shardStatJSON{
+			Objects:  sh.Objects,
+			Stats:    statsJSON{Reads: sh.Stats.Reads, Writes: sh.Stats.Writes, Total: sh.Stats.Total()},
+			Worker:   sh.Worker,
+			Attempts: sh.Attempts,
+			Hedged:   sh.Hedged,
+			FellBack: sh.FellBack,
+		}
+		if rs := sh.RemoteStats; rs.Total() > 0 {
+			st := statsJSON{Reads: rs.Reads, Writes: rs.Writes, Total: rs.Total()}
+			j.Remote = &st
+		}
+		if sh.Err != nil {
+			j.Error = sh.Err.Error()
+		}
+		out.Shards = append(out.Shards, j)
 	}
 	return out
 }
 
-// acquire claims a worker slot, honoring client disconnects while queued.
+// acquire claims a worker slot, honoring client disconnects while
+// queued. A drain releases queued queries immediately: they have done no
+// work, /readyz already told their balancer to go elsewhere, and holding
+// them through the drain would only delay shutdown (executing queries
+// keep their slots until the drain deadline).
 func (s *server) acquire(ctx context.Context) error {
+	// A closed drainCh and a free slot race in select; check the drain
+	// first so the rejection is deterministic once startDrain returns.
+	select {
+	case <-s.drainCh:
+		return errDraining
+	default:
+	}
 	select {
 	case s.sem <- struct{}{}:
 		return nil
+	case <-s.drainCh:
+		return errDraining
 	case <-ctx.Done():
 		return ctx.Err()
 	}
@@ -614,9 +719,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// connection until its client gives up. Cache hits (above) bypass
 	// admission; serving them costs no engine work.
 	if !s.admit() {
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests,
-			"server saturated: %d queries executing or queued; retry later", s.inflight.Load())
+		s.shed(w)
 		return
 	}
 	defer s.done()

@@ -27,12 +27,13 @@ var (
 func IsTransientFault(err error) bool { return em.IsTransient(err) }
 
 // RetryPolicy caps how transient storage faults and checksum mismatches
-// are retried on the engine's block transfers (Options.Retry). The zero
-// value never retries. Backoff doubles from BaseDelay per attempt, capped
-// at MaxDelay (0 = uncapped), and respects the query context: a cancelled
-// query aborts its backoff sleep immediately. Retries never change the
-// counted transfer schedule of a fault-free run — the I/O metric stays
-// bit-identical with any policy.
+// are retried on the engine's block transfers (Options.Retry), and how
+// the distributed coordinator retries worker calls (DistOptions.Retry).
+// The zero value never retries. Backoff doubles from BaseDelay per
+// attempt, capped at MaxDelay (0 = uncapped), and respects the query
+// context: a cancelled query aborts its backoff sleep immediately.
+// Retries never change the counted transfer schedule of a fault-free run
+// — the I/O metric stays bit-identical with any policy.
 type RetryPolicy struct {
 	// MaxRetries is the number of additional attempts after the first
 	// failed transfer (0 = fail on the first fault).
@@ -41,10 +42,20 @@ type RetryPolicy struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the exponential backoff (0 = no cap).
 	MaxDelay time.Duration
+	// JitterSeed, when non-zero, replaces the deterministic doubling with
+	// seeded decorrelated jitter: each retry sleeps a duration drawn
+	// uniformly from [BaseDelay, min(3·previous, MaxDelay)]. Without it,
+	// parallel workers tripping over the same transient fault retry in
+	// lockstep and collide again; with it their backoffs spread out, while
+	// a fixed seed keeps serial retry schedules exactly reproducible.
+	JitterSeed int64
 }
 
 func (p RetryPolicy) em() em.RetryPolicy {
-	return em.RetryPolicy{MaxRetries: p.MaxRetries, BaseDelay: p.BaseDelay, MaxDelay: p.MaxDelay}
+	return em.RetryPolicy{
+		MaxRetries: p.MaxRetries, BaseDelay: p.BaseDelay,
+		MaxDelay: p.MaxDelay, JitterSeed: p.JitterSeed,
+	}
 }
 
 // FaultOp selects which transfer direction a scheduled fault targets.

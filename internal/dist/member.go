@@ -1,0 +1,208 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// WorkerInfo is one membership-table entry as seen from outside.
+type WorkerInfo struct {
+	// Name identifies the worker in attribution and stats.
+	Name string `json:"name"`
+	// URL is the worker's base URL (scheme://host:port).
+	URL string `json:"url"`
+	// Ready is the result of the last probe (or registration default).
+	Ready bool `json:"ready"`
+	// Failures counts consecutive failed probes/calls since the last
+	// success.
+	Failures int `json:"failures,omitempty"`
+}
+
+type workerState struct {
+	name     string
+	url      string
+	ready    bool
+	failures int
+}
+
+// Membership is the coordinator's worker table: registration, removal,
+// and readiness probing against each worker's /readyz. Probes use their
+// own plain client — NOT the fault-injected solve client — so a chaos
+// plan's call indices target solve calls deterministically and a drill
+// never blinds the prober itself.
+type Membership struct {
+	mu      sync.Mutex
+	workers []*workerState
+	probe   *http.Client
+}
+
+// NewMembership builds an empty table. probeClient may be nil, which
+// uses a short-timeout plain client.
+func NewMembership(probeClient *http.Client) *Membership {
+	if probeClient == nil {
+		probeClient = &http.Client{Timeout: 2 * time.Second}
+	}
+	return &Membership{probe: probeClient}
+}
+
+// Add registers (or re-registers) a worker by name. A new worker starts
+// ready — the first failed call or probe demotes it — so registration
+// alone suffices in tests and static topologies without a prober
+// running. Returns false if the URL is empty.
+func (m *Membership) Add(name, url string) bool {
+	url = strings.TrimRight(url, "/")
+	if url == "" {
+		return false
+	}
+	if name == "" {
+		name = url
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, w := range m.workers {
+		if w.name == name {
+			w.url = url
+			w.ready = true
+			w.failures = 0
+			return true
+		}
+	}
+	m.workers = append(m.workers, &workerState{name: name, url: url, ready: true})
+	return true
+}
+
+// Remove drops a worker from the table. Returns whether it was present.
+func (m *Membership) Remove(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, w := range m.workers {
+		if w.name == name {
+			m.workers = append(m.workers[:i], m.workers[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// List snapshots the table in registration order.
+func (m *Membership) List() []WorkerInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]WorkerInfo, len(m.workers))
+	for i, w := range m.workers {
+		out[i] = WorkerInfo{Name: w.name, URL: w.url, Ready: w.ready, Failures: w.failures}
+	}
+	return out
+}
+
+// Ready returns the ready workers, name-sorted so shard→worker
+// assignment is deterministic for a fixed membership state.
+func (m *Membership) Ready() []WorkerInfo {
+	all := m.List()
+	out := all[:0]
+	for _, w := range all {
+		if w.Ready {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// MarkFailed records a failed solve call against a worker, demoting it
+// to not-ready. The next successful probe promotes it back.
+func (m *Membership) MarkFailed(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, w := range m.workers {
+		if w.name == name {
+			w.ready = false
+			w.failures++
+			return
+		}
+	}
+}
+
+// ProbeAll probes every worker's /readyz once, updating readiness.
+// HTTP 200 promotes; anything else (including transport errors)
+// demotes. Probes run sequentially — tables are small and sequential
+// probing keeps the order deterministic.
+func (m *Membership) ProbeAll(ctx context.Context) {
+	for _, w := range m.List() {
+		m.probeOne(ctx, w)
+	}
+}
+
+func (m *Membership) probeOne(ctx context.Context, w WorkerInfo) {
+	ok := false
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.URL+PathReady, nil)
+	if err == nil {
+		resp, perr := m.probe.Do(req)
+		if perr == nil {
+			ok = resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ws := range m.workers {
+		if ws.name != w.Name {
+			continue
+		}
+		ws.ready = ok
+		if ok {
+			ws.failures = 0
+		} else {
+			ws.failures++
+		}
+		return
+	}
+}
+
+// StartProber launches a background loop probing every interval until
+// the returned stop function is called (which blocks until the loop
+// exits). An initial probe runs immediately.
+func (m *Membership) StartProber(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.ProbeAll(ctx)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				m.ProbeAll(ctx)
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}
+
+// String summarizes the table for logs.
+func (m *Membership) String() string {
+	list := m.List()
+	parts := make([]string, len(list))
+	for i, w := range list {
+		state := "ready"
+		if !w.Ready {
+			state = fmt.Sprintf("down(%d)", w.Failures)
+		}
+		parts[i] = fmt.Sprintf("%s=%s[%s]", w.Name, w.URL, state)
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,151 @@
+// Package dist is the network twin of the storage robustness stack
+// (DESIGN.md §11): it promotes internal/shard's partition boundary to a
+// network boundary. A coordinator plans and routes a dataset locally
+// with the exact shard seams, ships each halo-extended partition to a
+// worker maxrsd over POST /shard/solve, and merges replies with the
+// same exact K-way merge the in-process path uses — so a no-fault
+// distributed solve is bit-identical to Options.Shards.
+//
+// The robustness stack mirrors internal/em's, layer for layer:
+//
+//   - Transport injects deterministic network faults (exact per-call
+//     schedules plus seeded rate bands) below the retry layer, the way
+//     em's faultBackend sits below the Disk's counters.
+//   - Worker calls are retried under em.RetryPolicy with the same
+//     jittered capped-exponential backoff the Disk uses, honoring
+//     typed transient-vs-permanent classification and Retry-After.
+//   - Straggler shards are hedged: a budgeted duplicate call races the
+//     original, first success wins, the loser's ctx is cancelled.
+//   - Exhausted retries degrade gracefully: the coordinator solves the
+//     lost shard locally from its halo-replicated partition file, or
+//     fails typed (ErrShardUnavailable) with per-worker attribution —
+//     never a hang, never a silently partial answer.
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+
+	"maxrs/internal/geom"
+	"maxrs/internal/sweep"
+)
+
+// Wire paths and headers of the internal cluster protocol.
+const (
+	// PathSolve is the worker's shard-solve endpoint.
+	PathSolve = "/shard/solve"
+	// PathReady is the readiness endpoint membership probes.
+	PathReady = "/readyz"
+	// ChecksumHeader carries the lowercase-hex CRC32C of the message
+	// body. Replies always set it; receivers that find it verify before
+	// decoding, turning in-flight corruption into a typed transient
+	// error instead of a silent wrong answer — the network twin of the
+	// storage layer's block checksums.
+	ChecksumHeader = "X-Maxrs-Crc32c"
+)
+
+// SolveRequest ships one halo-extended partition to a worker: the query
+// rectangle and the shard's objects (halo copies included). The shard is
+// self-contained — the worker needs no dataset state, so any ready
+// worker can solve any shard, which is what makes retry, hedging, and
+// reassignment safe.
+type SolveRequest struct {
+	W       float64       `json:"w"`
+	H       float64       `json:"h"`
+	Unfused bool          `json:"unfused,omitempty"`
+	Objects []geom.Object `json:"objects"`
+}
+
+// SolveReply is a worker's answer for one shard: the shard's
+// unrestricted optimum plus the I/O the solve cost on the worker's
+// private disk.
+type SolveReply struct {
+	Sum    float64   `json:"sum"`
+	Region geom.Rect `json:"region"`
+	Reads  uint64    `json:"reads"`
+	Writes uint64    `json:"writes"`
+}
+
+// Result converts the reply to the sweep result the merge consumes.
+func (r SolveReply) Result() sweep.Result { return sweep.Result{Region: r.Region, Sum: r.Sum} }
+
+// ErrBadChecksum marks a message body that failed ChecksumHeader
+// verification — in-flight damage, not a malformed message. Receivers
+// should answer it retryably (the sender's resend carries clean bytes),
+// unlike a genuine decode error, which no retry will fix.
+var ErrBadChecksum = errors.New("dist: body failed checksum verification")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the wire form of body's CRC32C.
+func Checksum(body []byte) string { return fmt.Sprintf("%08x", crc32.Checksum(body, crcTable)) }
+
+// DecodeRequest reads and decodes a solve request from an HTTP request
+// body, verifying ChecksumHeader when the sender set it.
+func DecodeRequest(r *http.Request) (SolveRequest, error) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return SolveRequest{}, fmt.Errorf("dist: read request: %w", err)
+	}
+	if want := r.Header.Get(ChecksumHeader); want != "" && want != Checksum(body) {
+		return SolveRequest{}, fmt.Errorf("dist: request: %w", ErrBadChecksum)
+	}
+	var req SolveRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return SolveRequest{}, fmt.Errorf("dist: decode request: %w", err)
+	}
+	return req, nil
+}
+
+// EncodeRequest marshals a solve request and returns the body plus the
+// checksum header value to send with it.
+func EncodeRequest(req SolveRequest) (body []byte, checksum string, err error) {
+	body, err = json.Marshal(req)
+	if err != nil {
+		return nil, "", fmt.Errorf("dist: encode request: %w", err)
+	}
+	return body, Checksum(body), nil
+}
+
+// WriteReply marshals reply and writes it with the checksum header set,
+// so the coordinator can detect in-flight corruption.
+func WriteReply(w http.ResponseWriter, reply SolveReply) error {
+	body, err := json.Marshal(reply)
+	if err != nil {
+		return fmt.Errorf("dist: encode reply: %w", err)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(ChecksumHeader, Checksum(body))
+	_, err = w.Write(body)
+	return err
+}
+
+// decodeReply verifies the reply body against ChecksumHeader (when set)
+// and decodes it. A checksum mismatch is a transient fault: the bytes
+// were damaged in flight, a retry rereads a clean reply.
+func decodeReply(header http.Header, body []byte) (SolveReply, error) {
+	if want := header.Get(ChecksumHeader); want != "" && want != Checksum(body) {
+		return SolveReply{}, markTransient(fmt.Errorf("%w: reply: %v", ErrNetFault, ErrBadChecksum))
+	}
+	var reply SolveReply
+	if err := json.Unmarshal(body, &reply); err != nil {
+		// A truncated or garbled reply that happens to carry no checksum
+		// header still must not kill the shard: decode failures are
+		// in-flight damage until retries say otherwise.
+		return SolveReply{}, markTransient(fmt.Errorf("%w: decode reply: %v", ErrNetFault, err))
+	}
+	return reply, nil
+}
+
+// readBody drains a response body, tolerating nothing: any read error
+// (mid-stream disconnect, injected or real) surfaces to the caller.
+func readBody(r io.Reader) ([]byte, error) {
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(r)
+	return buf.Bytes(), err
+}

@@ -122,6 +122,7 @@ type Disk struct {
 	// transfers only, so the I/O metric of a fault-free run is
 	// bit-identical with any policy.
 	retry        atomic.Pointer[RetryPolicy]
+	jitter       atomic.Pointer[JitterSource]
 	readRetries  atomic.Uint64
 	writeRetries atomic.Uint64
 
@@ -267,6 +268,7 @@ func (d *Disk) ReadBlock(id BlockID, dst []byte) error {
 // sleeping out its backoff. A nil ctx never cancels.
 func (d *Disk) readBlockCtx(ctx context.Context, id BlockID, dst []byte) error {
 	p := d.retryPolicy()
+	bo := p.Backoff(d.jitter.Load())
 	for attempt := 0; ; attempt++ {
 		err := d.readBlockOnce(id, dst)
 		if err == nil {
@@ -276,7 +278,7 @@ func (d *Disk) readBlockCtx(ctx context.Context, id BlockID, dst []byte) error {
 			return err
 		}
 		d.readRetries.Add(1)
-		if serr := sleepCtx(ctx, p.delay(attempt)); serr != nil {
+		if serr := sleepCtx(ctx, bo.Next()); serr != nil {
 			return serr
 		}
 	}
@@ -324,6 +326,7 @@ func (d *Disk) WriteBlock(id BlockID, src []byte) error {
 // readBlockCtx).
 func (d *Disk) writeBlockCtx(ctx context.Context, id BlockID, src []byte) error {
 	p := d.retryPolicy()
+	bo := p.Backoff(d.jitter.Load())
 	for attempt := 0; ; attempt++ {
 		err := d.writeBlockOnce(id, src)
 		if err == nil {
@@ -333,7 +336,7 @@ func (d *Disk) writeBlockCtx(ctx context.Context, id BlockID, src []byte) error 
 			return err
 		}
 		d.writeRetries.Add(1)
-		if serr := sleepCtx(ctx, p.delay(attempt)); serr != nil {
+		if serr := sleepCtx(ctx, bo.Next()); serr != nil {
 			return serr
 		}
 	}
@@ -374,8 +377,17 @@ func (d *Disk) retryPolicy() RetryPolicy {
 
 // SetRetryPolicy installs the retry policy for transient faults and
 // checksum mismatches on this disk's transfers. Safe to call at any time;
-// in-flight transfers keep the policy they started with.
-func (d *Disk) SetRetryPolicy(p RetryPolicy) { d.retry.Store(&p) }
+// in-flight transfers keep the policy they started with. A non-zero
+// JitterSeed installs a fresh jitter stream seeded from it, shared by all
+// of the disk's retry loops (RetryPolicy.JitterSeed).
+func (d *Disk) SetRetryPolicy(p RetryPolicy) {
+	if p.JitterSeed != 0 {
+		d.jitter.Store(NewJitterSource(p.JitterSeed))
+	} else {
+		d.jitter.Store(nil)
+	}
+	d.retry.Store(&p)
+}
 
 // SetChecksums enables or disables CRC32C verification of block content.
 // Writes performed while enabled record a checksum that reads verify;
@@ -439,6 +451,7 @@ func (d *Disk) allocGen() (BlockID, uint32) {
 // generation revalidated on every attempt.
 func (d *Disk) writeBlockGen(ctx context.Context, id BlockID, g uint32, src []byte) error {
 	p := d.retryPolicy()
+	bo := p.Backoff(d.jitter.Load())
 	for attempt := 0; ; attempt++ {
 		err := d.writeBlockGenOnce(id, g, src)
 		if err == nil {
@@ -448,7 +461,7 @@ func (d *Disk) writeBlockGen(ctx context.Context, id BlockID, g uint32, src []by
 			return err
 		}
 		d.writeRetries.Add(1)
-		if serr := sleepCtx(ctx, p.delay(attempt)); serr != nil {
+		if serr := sleepCtx(ctx, bo.Next()); serr != nil {
 			return serr
 		}
 	}

@@ -38,6 +38,17 @@ func IsTransient(err error) bool {
 	return errors.As(err, &t)
 }
 
+// MarkTransient wraps err so IsTransient reports it retryable, keeping
+// errors.Is/As visibility into err. Other layers (the distributed
+// coordinator's network faults) use it so one classifier spans storage
+// and network faults. A nil err stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientErr{err}
+}
+
 // retryable reports whether the retry loop should attempt the transfer
 // again: transient faults (the fault may clear) and checksum mismatches
 // (the corruption may have happened in flight, a reread sees clean data).
@@ -48,10 +59,12 @@ func retryable(err error) bool {
 // RetryPolicy caps how transient faults and checksum mismatches are
 // retried by a Disk's block transfers. The zero value never retries.
 // Backoff is exponential from BaseDelay, doubling per attempt and capped
-// at MaxDelay (0 = uncapped); a zero BaseDelay retries immediately. The
-// policy changes no transfer when no fault fires: the counted schedule of
-// a fault-free run is bit-identical with any policy, so enabling retries
-// in production costs nothing on the I/O metric.
+// at MaxDelay (0 = uncapped); a zero BaseDelay retries immediately. With
+// JitterSeed set the backoff is decorrelated-jittered instead (see the
+// field), so parallel workers tripping over the same fault do not retry
+// in lockstep. The policy changes no transfer when no fault fires: the
+// counted schedule of a fault-free run is bit-identical with any policy,
+// so enabling retries in production costs nothing on the I/O metric.
 type RetryPolicy struct {
 	// MaxRetries is the number of additional attempts after the first
 	// failed transfer (0 = fail on the first fault).
@@ -60,9 +73,20 @@ type RetryPolicy struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the exponential backoff (0 = no cap).
 	MaxDelay time.Duration
+	// JitterSeed, when non-zero, switches the backoff to seeded
+	// decorrelated jitter: each retry sleeps a duration drawn uniformly
+	// from [BaseDelay, min(3·previous, MaxDelay)], with the draws coming
+	// from one rand.Rand seeded with JitterSeed per policy installation.
+	// Deterministic under a fixed seed for a serial retry sequence (the
+	// fault-matrix tests stay exact); under concurrency the interleaving
+	// shuffles which loop draws which number, but every delay stays within
+	// the same bounds — and concurrent loops no longer back off in
+	// lockstep, which is the point. 0 keeps the plain doubling backoff.
+	JitterSeed int64
 }
 
-// delay returns the backoff before retry number attempt (0-based).
+// delay returns the non-jittered backoff before retry number attempt
+// (0-based): BaseDelay doubling per attempt, capped at MaxDelay.
 func (p RetryPolicy) delay(attempt int) time.Duration {
 	d := p.BaseDelay
 	if d <= 0 {
@@ -77,6 +101,70 @@ func (p RetryPolicy) delay(attempt int) time.Duration {
 	if p.MaxDelay > 0 && d > p.MaxDelay {
 		d = p.MaxDelay
 	}
+	return d
+}
+
+// JitterSource is the seeded random stream behind a policy's decorrelated
+// jitter, shared by every retry loop on one Disk so that concurrent loops
+// draw different numbers (sharing is what decorrelates them) while a
+// serial sequence of retries stays a pure function of the seed.
+type JitterSource struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func NewJitterSource(seed int64) *JitterSource {
+	return &JitterSource{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (j *JitterSource) float64() float64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rng.Float64()
+}
+
+// Backoff tracks one retry loop's delay state. Next returns the sleep
+// before the loop's next retry: plain capped doubling without a jitter
+// source, decorrelated jitter with one. Shared by the storage retry
+// loops (Disk) and the distributed coordinator's worker-call retries.
+type Backoff struct {
+	p       RetryPolicy
+	src     *JitterSource
+	attempt int
+	prev    time.Duration
+}
+
+// Backoff returns the delay state for one retry loop. src supplies the
+// jitter draws and may be nil (or the policy's JitterSeed zero), in which
+// case the loop keeps the deterministic doubling schedule.
+func (p RetryPolicy) Backoff(src *JitterSource) Backoff {
+	if p.JitterSeed == 0 {
+		src = nil
+	}
+	return Backoff{p: p, src: src, prev: p.BaseDelay}
+}
+
+func (b *Backoff) Next() time.Duration {
+	if b.p.BaseDelay <= 0 {
+		return 0
+	}
+	if b.src == nil {
+		d := b.p.delay(b.attempt)
+		b.attempt++
+		return d
+	}
+	// Decorrelated jitter: draw from [base, 3·prev], capped at MaxDelay.
+	// Every delay is ≥ BaseDelay and ≤ max(BaseDelay, MaxDelay) — the
+	// bounds the unit tests pin.
+	hi := 3 * b.prev
+	if b.p.MaxDelay > 0 && hi > b.p.MaxDelay {
+		hi = b.p.MaxDelay
+	}
+	if hi < b.p.BaseDelay {
+		hi = b.p.BaseDelay
+	}
+	d := b.p.BaseDelay + time.Duration(b.src.float64()*float64(hi-b.p.BaseDelay))
+	b.prev = d
 	return d
 }
 

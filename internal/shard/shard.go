@@ -164,11 +164,11 @@ func SolveObjects(ctx context.Context, env em.Env, objFile *em.File, w, h float6
 	if ctx != nil {
 		env = env.WithContext(ctx)
 	}
-	bounds, err := planBounds(env, objFile, cfg.Shards)
+	bounds, err := PlanBounds(env, objFile, cfg.Shards)
 	if err != nil {
 		return Result{}, err
 	}
-	shards, err := partition(env, objFile, bounds, w/2, cfg)
+	shards, err := PartitionObjects(env, objFile, bounds, w/2, cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -176,7 +176,7 @@ func SolveObjects(ctx context.Context, env em.Env, objFile *em.File, w, h float6
 	// or a cancelled ctx — close them all before returning.
 	defer func() {
 		for _, sh := range shards {
-			_ = sh.env.Disk.Close()
+			_ = sh.Close()
 		}
 	}()
 	results := make([]sweep.Result, len(shards))
@@ -194,23 +194,26 @@ func SolveObjects(ctx context.Context, env em.Env, objFile *em.File, w, h float6
 		}
 	}
 	err = conc.ForEachIndexed(len(shards), workers, func(i int) error {
-		return shards[i].solve(ctx, w, h, coreCfg, &results[i])
+		return shards[i].solveAndRelease(ctx, w, h, coreCfg, &results[i])
 	})
 	if err != nil {
 		return Result{}, err
 	}
 	out := Result{Shards: make([]Info, len(shards))}
 	for i, sh := range shards {
-		out.Shards[i] = Info{Slab: sh.slab, Objects: sh.count, Stats: sh.env.Disk.Stats()}
+		out.Shards[i] = Info{Slab: sh.slab, Objects: sh.count, Stats: sh.Stats()}
 	}
-	out.Winner = merge(results)
+	out.Winner = Merge(results)
 	out.Res = results[out.Winner]
 	return out, nil
 }
 
-// merge picks the winning candidate: the highest score, lowest shard
-// index on ties, so the merged answer is deterministic.
-func merge(results []sweep.Result) int {
+// Merge picks the winning candidate of a sharded solve: the highest
+// score, lowest shard index on ties, so the merged answer is
+// deterministic. It is the exact K-way merge argued in the package
+// comment, shared by the in-process path and the distributed
+// coordinator so both produce bit-identical answers.
+func Merge(results []sweep.Result) int {
 	best := 0
 	for i := 1; i < len(results); i++ {
 		if results[i].Sum > results[best].Sum {
@@ -220,41 +223,102 @@ func merge(results []sweep.Result) int {
 	return best
 }
 
-// shard is one partition during a solve.
-type shard struct {
+// Partition is one halo-extended shard of a partitioned dataset: its
+// private disk, the partition file routed onto it, and the center slab
+// it owns. PartitionObjects creates them; the caller must Close every
+// partition it receives. Unlike the one-shot SolveObjects path, a
+// Partition keeps its file until Close, so it can be read (to ship the
+// shard to a remote worker) and solved locally (halo-replica failover)
+// any number of times — the file doubles as the shard's replica.
+type Partition struct {
 	env   em.Env
 	file  *em.File
 	slab  geom.Interval
 	count int64
 }
 
-// solve runs the shard's private ExactMaxRS and releases the partition
-// file on every path. Transfers land on the shard's own disk; per-shard
-// scoping is unnecessary because nothing else runs there. The caller's
-// ctx bounds the solve, so one cancel stops every shard in flight.
-func (sh *shard) solve(ctx context.Context, w, h float64, cfg core.Config, out *sweep.Result) error {
-	defer sh.file.Release()
-	solver, err := core.NewSolver(sh.env, cfg)
+// Slab is the half-open center interval [Lo, Hi) the partition owns.
+func (p *Partition) Slab() geom.Interval { return p.slab }
+
+// Objects is the number of objects routed to the partition, halo copies
+// included.
+func (p *Partition) Objects() int64 { return p.count }
+
+// Stats is the I/O charged to the partition's private disk so far.
+func (p *Partition) Stats() em.Stats { return p.env.Disk.Stats() }
+
+// Close closes the partition's private disk, releasing its blocks and
+// any backing temp file. The partition is unusable afterwards.
+func (p *Partition) Close() error { return p.env.Disk.Close() }
+
+// Solve runs the partition's private ExactMaxRS and leaves the
+// partition file intact, so a failed-over shard can be re-solved and a
+// shipped shard re-read. Transfers land on the partition's own disk;
+// ctx cancellation aborts within one block-transfer's work.
+func (p *Partition) Solve(ctx context.Context, w, h float64, cfg core.Config) (sweep.Result, error) {
+	solver, err := core.NewSolver(p.env, cfg)
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	res, err := solver.SolveObjectsScoped(ctx, p.file, w, h, nil)
+	if err != nil {
+		return sweep.Result{}, fmt.Errorf("shard %v: %w", p.slab, err)
+	}
+	return res, nil
+}
+
+// ReadObjects decodes the whole partition file into memory — the
+// coordinator's seam for shipping a shard's objects to a remote worker.
+// Reads are charged to the partition's private disk. The file survives,
+// so the same partition can be re-read (hedge, resend) or solved
+// locally afterwards.
+func (p *Partition) ReadObjects(ctx context.Context) ([]geom.Object, error) {
+	env := p.env
+	if ctx != nil {
+		env = env.WithContext(ctx)
+	}
+	rr, err := em.OpenRecordReader(env, p.file, rec.ObjectCodec{})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]geom.Object, 0, p.count)
+	batch := make([]rec.Object, objectBatch)
+	for {
+		got, rerr := rr.ReadBatch(batch)
+		for _, o := range batch[:got] {
+			out = append(out, geom.Object{Point: geom.Point{X: o.X, Y: o.Y}, W: o.W})
+		}
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				return out, nil
+			}
+			return nil, rerr
+		}
+	}
+}
+
+// solveAndRelease is the one-shot SolveObjects path: solve, then release
+// the partition file eagerly (the blocks are dead weight once the shard
+// has its candidate) rather than waiting for Close.
+func (p *Partition) solveAndRelease(ctx context.Context, w, h float64, cfg core.Config, out *sweep.Result) error {
+	defer p.file.Release()
+	res, err := p.Solve(ctx, w, h, cfg)
 	if err != nil {
 		return err
 	}
-	res, err := solver.SolveObjectsScoped(ctx, sh.file, w, h, nil)
-	if err != nil {
-		return fmt.Errorf("shard %v: %w", sh.slab, err)
-	}
-	if err := sh.file.Release(); err != nil {
+	if err := p.file.Release(); err != nil {
 		return err
 	}
 	*out = res
 	return nil
 }
 
-// planBounds scans objFile once and returns up to k−1 strictly increasing
+// PlanBounds scans objFile once and returns up to k−1 strictly increasing
 // interior slab boundaries — x-quantiles of a deterministic stride sample,
 // so repeated plans of the same file agree bit-for-bit. Fewer boundaries
 // than requested (down to none) come back when the data has too few
 // distinct x-coordinates; the effective shard count shrinks accordingly.
-func planBounds(env em.Env, objFile *em.File, k int) ([]float64, error) {
+func PlanBounds(env em.Env, objFile *em.File, k int) ([]float64, error) {
 	if k < 2 {
 		return nil, nil
 	}
@@ -302,24 +366,27 @@ func planBounds(env em.Env, objFile *em.File, k int) ([]float64, error) {
 	return bounds, nil
 }
 
-// partition scans objFile once and routes every object into each shard
-// whose halo-extended slab contains it: shard i receives the objects with
-// x ∈ [b_i − halfWidth, b_{i+1} + halfWidth] (closed on both ends — one
-// float of slack beyond the half-open need never hurts correctness, only
-// duplicates a boundary object once more). On error every already-created
-// shard disk is closed and nothing stays allocated.
-func partition(env em.Env, objFile *em.File, bounds []float64, halfWidth float64, cfg Config) (_ []*shard, err error) {
+// PartitionObjects scans objFile once and routes every object into each
+// shard whose halo-extended slab contains it: shard i receives the
+// objects with x ∈ [b_i − halfWidth, b_{i+1} + halfWidth] (closed on
+// both ends — one float of slack beyond the half-open need never hurts
+// correctness, only duplicates a boundary object once more). bounds
+// come from PlanBounds; halfWidth is half the query width a/2. On error
+// every already-created shard disk is closed and nothing stays
+// allocated; on success the caller owns the partitions and must Close
+// each one.
+func PartitionObjects(env em.Env, objFile *em.File, bounds []float64, halfWidth float64, cfg Config) (_ []*Partition, err error) {
 	k := len(bounds) + 1
 	newDisk := cfg.NewDisk
 	if newDisk == nil {
 		blockSize := env.B()
 		newDisk = func() (*em.Disk, error) { return em.NewDisk(blockSize) }
 	}
-	shards := make([]*shard, 0, k)
+	shards := make([]*Partition, 0, k)
 	defer func() {
 		if err != nil {
 			for _, sh := range shards {
-				_ = sh.env.Disk.Close()
+				_ = sh.Close()
 			}
 		}
 	}()
@@ -333,7 +400,7 @@ func partition(env em.Env, objFile *em.File, bounds []float64, halfWidth float64
 		// partition writers too) but not its scope: shard-disk traffic is
 		// accounted via Disk.Stats and folded in by the caller.
 		shEnv := em.Env{Disk: disk, M: env.M, Ctx: env.Ctx}
-		sh := &shard{env: shEnv, file: shEnv.NewFile(), slab: slabOf(bounds, i)}
+		sh := &Partition{env: shEnv, file: shEnv.NewFile(), slab: slabOf(bounds, i)}
 		shards = append(shards, sh) // before Validate: the defer owns the disk now
 		if err := shEnv.Validate(); err != nil {
 			return nil, err

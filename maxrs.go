@@ -44,12 +44,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"net/http"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"maxrs/internal/baseline"
 	"maxrs/internal/core"
+	"maxrs/internal/dist"
 	"maxrs/internal/em"
 	"maxrs/internal/geom"
 	"maxrs/internal/plan"
@@ -122,19 +124,49 @@ type Result struct {
 	PredictedCost PredictedCost
 	// FallbackReason is non-empty when the query silently did less than
 	// the settings requested — e.g. a sharded request that ran unsharded
-	// because the dataset holds negative weights (DESIGN.md §9.3), or a
-	// non-ExactMaxRS algorithm ignoring WithShards. Empty otherwise.
+	// because the dataset holds negative weights (DESIGN.md §9.3), a
+	// non-ExactMaxRS algorithm ignoring WithShards, or a distributed
+	// request degraded to in-process execution because no workers were
+	// ready. Empty otherwise.
 	FallbackReason string
+	// Distributed reports whether the query's shards were fanned out to
+	// workers (Options.Dist) rather than solved in process. ShardStats
+	// then carries the per-worker attribution.
+	Distributed bool
 }
 
 // ShardStat is one shard's contribution to a sharded query (DESIGN.md §9).
+// For distributed queries (Options.Dist) it additionally attributes the
+// shard to the workers involved: which worker answered (or failed),
+// how many network attempts it took, and which recovery path — hedge or
+// local halo-replica fallback — produced the answer.
 type ShardStat struct {
 	// Objects is the number of objects routed to the shard, halo
 	// duplicates included.
 	Objects int64
-	// Stats is the I/O on the shard's private disk: partition writes
-	// plus its independent ExactMaxRS solve.
+	// Stats is the I/O on the shard's private disk. In process that is
+	// partition writes plus the shard's independent ExactMaxRS solve;
+	// distributed it is the partition writes plus the reads that shipped
+	// (and, on fallback, re-solved) the shard — the remote solve's I/O
+	// is the worker's and reported separately in RemoteStats.
 	Stats QueryStats
+	// Worker names the worker that answered the shard (the last one
+	// tried, on failure). Empty for in-process shards.
+	Worker string
+	// Attempts counts the network calls made for the shard, hedges
+	// included. 0 for in-process shards.
+	Attempts int
+	// Hedged reports whether a straggler duplicate was launched.
+	Hedged bool
+	// FellBack reports whether the shard was solved locally from its
+	// halo-replicated partition file after every network path failed.
+	FellBack bool
+	// RemoteStats is the worker-reported I/O of the remote solve — the
+	// transfers charged on the worker's disk, not this engine's.
+	RemoteStats QueryStats
+	// Err is the shard's terminal failure, nil on every recovered path.
+	// Set only when the query itself returns ErrShardUnavailable.
+	Err error
 }
 
 // QueryStats reports the block transfers attributable to one query: reads
@@ -282,6 +314,15 @@ type Options struct {
 	// surfacing as ErrBlockCorrupt. Checksums change no transfer counts
 	// (DESIGN.md §11). Applies to the primary disk and every shard disk.
 	Checksums bool
+	// Dist enables distributed execution (DESIGN.md §13): sharded
+	// queries plan and route locally, then fan each halo-extended shard
+	// out to a worker maxrsd over HTTP and merge replies with the same
+	// exact K-way merge the in-process path uses. nil (the default)
+	// keeps every shard in process. Distribution changes where shards
+	// solve, never what they answer: a no-fault distributed query is
+	// bit-identical to the in-process sharded query, and the unsharded
+	// path (Shards 0) ignores Dist entirely.
+	Dist *DistOptions
 }
 
 // PipelineMode selects the stream prefetch / write-behind behavior of an
@@ -364,6 +405,14 @@ type Engine struct {
 	// faultPlan is the armed fault-injection plan (InjectFaults), applied
 	// to shard disks at creation so injection covers the whole query path.
 	faultPlan atomic.Pointer[em.FaultPlan]
+
+	// Distributed execution (Options.Dist; all nil when not distributed):
+	// the coordinator owning the worker membership and fan-out policy,
+	// the instrumented transport under it, and the background prober's
+	// stop hook.
+	coord        *dist.Coordinator
+	netTransport *dist.Transport
+	stopProber   func()
 }
 
 // NewEngine validates opts and returns an Engine. Misconfiguration —
@@ -419,13 +468,36 @@ func NewEngine(opts *Options) (*Engine, error) {
 	if par == 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{opts: o, env: env, solver: solver, par: par}, nil
+	e := &Engine{opts: o, env: env, solver: solver, par: par}
+	if o.Dist != nil {
+		e.netTransport = dist.NewTransport(o.Dist.Transport, o.Dist.NetFaults.dist())
+		members := dist.NewMembership(nil)
+		for _, w := range o.Dist.Workers {
+			members.Add(w.Name, w.URL)
+		}
+		e.coord = dist.NewCoordinator(members, dist.Config{
+			Client: &http.Client{Transport: e.netTransport},
+			Retry:  o.Dist.Retry.em(),
+			Hedge:  dist.HedgePolicy{Delay: o.Dist.Hedge.Delay, Max: o.Dist.Hedge.Max},
+		})
+		if o.Dist.ProbeInterval > 0 {
+			e.stopProber = members.StartProber(o.Dist.ProbeInterval)
+		}
+	}
+	return e, nil
 }
 
 // Close releases the engine's storage (removes the backing file of an
-// OnDisk engine). It must not be called while queries or loads are in
-// flight; the engine and its datasets must not be used afterwards.
-func (e *Engine) Close() error { return e.env.Disk.Close() }
+// OnDisk engine) and stops the distributed membership prober, if one is
+// running. It must not be called while queries or loads are in flight;
+// the engine and its datasets must not be used afterwards.
+func (e *Engine) Close() error {
+	if e.stopProber != nil {
+		e.stopProber()
+		e.stopProber = nil
+	}
+	return e.env.Disk.Close()
+}
 
 // Dataset is a point set stored on the engine's disk.
 //
@@ -639,6 +711,36 @@ type query struct {
 	// query), otherwise the resolved settings with their predicted cost.
 	plan     Plan
 	fallback string // Result.FallbackReason
+
+	// distributedRan records that the coordinator actually fanned this
+	// query's shards out (Result.Distributed) — not set when distribution
+	// degraded to in-process execution.
+	distributedRan bool
+}
+
+// distribute reports whether this query's sharded solve should fan out
+// to workers, noting the fallback when distribution was requested on an
+// engine that has none configured.
+func (q *query) distribute() bool {
+	if !q.set.distributed {
+		return false
+	}
+	if q.e.coord == nil {
+		if q.set.distributedSet {
+			q.noteFallback("distributed execution requested but Options.Dist is not configured; solved in process")
+		}
+		return false
+	}
+	return true
+}
+
+// noteFallback appends one reason to the query's FallbackReason.
+func (q *query) noteFallback(reason string) {
+	if q.fallback == "" {
+		q.fallback = reason
+		return
+	}
+	q.fallback += "; " + reason
 }
 
 // begin opens the unified request path: it resolves the call's options
@@ -711,6 +813,7 @@ func (q *query) annotate(out *Result) {
 	out.Plan = q.plan
 	out.PredictedCost = q.plan.Predicted
 	out.FallbackReason = q.fallback
+	out.Distributed = q.distributedRan
 	out.Stats.PredictedReads = uint64(q.plan.Predicted.Reads)
 	out.Stats.PredictedWrites = uint64(q.plan.Predicted.Writes)
 }
@@ -733,6 +836,17 @@ func (e *Engine) MaxRS(ctx context.Context, d *Dataset, w, h float64, opts ...Qu
 	defer q.end(&err)
 	res, shards, alg, err := q.maxRS(w, h)
 	if err != nil {
+		if errors.Is(err, ErrShardUnavailable) && shards != nil {
+			// A distributed query that lost a shard for good fails typed,
+			// but the partial Result still carries the per-worker
+			// attribution (ShardStats) so operators can see exactly which
+			// worker failed how. Location/Score are zero — never a
+			// silently partial answer.
+			out := Result{Algorithm: alg, Shards: len(shards), ShardStats: shards}
+			out.Stats = queryStatsOf(q.sc)
+			q.annotate(&out)
+			return out, err
+		}
 		return Result{}, err
 	}
 	return q.result(res, shards, alg), nil
@@ -797,6 +911,9 @@ func (q *query) solveObjects(f *em.File, w, h float64, k int) (sweep.Result, []S
 	if k < 1 {
 		res, err := q.solver.SolveObjectsScoped(q.ctx, f, w, h, q.sc)
 		return res, nil, err
+	}
+	if q.distribute() {
+		return q.solveDistributed(f, w, h, k)
 	}
 	// Shard-level fan-out replaces slab-level fan-out as the outer
 	// parallelism: the shard pool is bounded by the query's resolved

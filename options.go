@@ -81,14 +81,32 @@ func WithParallelism(p int) QueryOption {
 	}
 }
 
+// WithDistributed overrides where one query's shards execute: true fans
+// them out to the engine's workers (the default whenever Options.Dist is
+// configured), false pins this query to the in-process sharded path —
+// e.g. to A/B fan-out overhead, or to keep a latency-critical query off
+// a degraded cluster. Requesting true on an engine without Options.Dist
+// runs in process and reports it in Result.FallbackReason. Distribution
+// never changes answers, only where shards solve; unsharded queries are
+// unaffected.
+func WithDistributed(on bool) QueryOption {
+	return func(q *querySettings) error {
+		q.distributed = on
+		q.distributedSet = true
+		return nil
+	}
+}
+
 // querySettings is the per-query resolution of the engine Options and the
 // call's QueryOptions.
 type querySettings struct {
-	algorithm   Algorithm
-	shards      int  // meaningful only when shardsSet
-	shardsSet   bool // WithShards given: overrides dataset and engine
-	unfused     bool
-	parallelism int // unresolved (0 = GOMAXPROCS), as in Options
+	algorithm      Algorithm
+	shards         int  // meaningful only when shardsSet
+	shardsSet      bool // WithShards given: overrides dataset and engine
+	unfused        bool
+	parallelism    int // unresolved (0 = GOMAXPROCS), as in Options
+	distributed    bool
+	distributedSet bool // WithDistributed given explicitly
 }
 
 // validAlgorithm reports whether a names a known solver (or the planner
@@ -107,6 +125,7 @@ func (e *Engine) resolveQuery(opts []QueryOption) (querySettings, error) {
 		algorithm:   e.opts.Algorithm,
 		unfused:     e.opts.Unfused,
 		parallelism: e.opts.Parallelism,
+		distributed: e.coord != nil,
 	}
 	for _, opt := range opts {
 		if err := opt(&set); err != nil {
