@@ -118,7 +118,7 @@ func benchAlgo(b *testing.B, algo Algorithm) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		d, err := e.Load(objs)
+		d, err := e.Load(context.Background(), objs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -163,7 +163,7 @@ func BenchmarkParallelExactMaxRS(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				d, err := e.Load(objs)
+				d, err := e.Load(context.Background(), objs)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -209,7 +209,7 @@ func BenchmarkFusionExactMaxRS(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				d, err := e.Load(objs)
+				d, err := e.Load(context.Background(), objs)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -260,7 +260,7 @@ func BenchmarkPipelinedDisk(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				d, err := e.Load(objs)
+				d, err := e.Load(context.Background(), objs)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -72,7 +72,7 @@ func main() {
 		fatal(err)
 	}
 	defer engine.Close()
-	ds, err := engine.Load(objs)
+	ds, err := engine.Load(ctx, objs)
 	if err != nil {
 		fatal(err)
 	}

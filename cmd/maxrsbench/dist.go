@@ -84,7 +84,7 @@ func startBenchWorker(memory, par int) (*httptest.Server, *maxrs.Engine, error) 
 		for i, o := range req.Objects {
 			objs[i] = maxrs.Object{X: o.X, Y: o.Y, Weight: o.W}
 		}
-		ds, err := eng.Load(objs)
+		ds, err := eng.Load(r.Context(), objs)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -180,7 +180,7 @@ func runDist(cfg distBenchConfig) ([]experiments.Series, error) {
 			if err != nil {
 				return nil, err
 			}
-			ds, err := eng.Load(objs)
+			ds, err := eng.Load(context.Background(), objs)
 			if err != nil {
 				return nil, errJoinClose(eng, err)
 			}

@@ -80,7 +80,7 @@ func runLoad(cfg loadConfig) (experiments.Series, error) {
 	for i, o := range gobjs {
 		objs[i] = maxrs.Object{X: o.X, Y: o.Y, Weight: o.W}
 	}
-	d, err := e.Load(objs)
+	d, err := e.Load(context.Background(), objs)
 	if err != nil {
 		return series, err
 	}

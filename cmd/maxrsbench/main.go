@@ -70,7 +70,7 @@ func parseLevels(s string) ([]int, error) {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "comma-separated: table2,table3,fig12,fig13,fig14,fig15,fig16,fig17,all,load,fusion,shard,fault,plan,dist (load, fusion, shard, fault, plan and dist are never part of all)")
+		exp        = flag.String("exp", "all", "comma-separated: table2,table3,fig12,fig13,fig14,fig15,fig16,fig17,all,load,fusion,shard,fault,plan,dist,incr (load, fusion, shard, fault, plan, dist and incr are never part of all)")
 		scale      = flag.Float64("scale", 1.0, "cardinality scale factor (1 = paper scale)")
 		bufscale   = flag.Float64("bufscale", 0, "buffer scale factor (default: same as -scale)")
 		seed       = flag.Int64("seed", 2012, "data generation seed")
@@ -100,7 +100,7 @@ func main() {
 
 	registered := []string{
 		"all", "table2", "table3", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-		"load", "fusion", "shard", "fault", "plan", "dist",
+		"load", "fusion", "shard", "fault", "plan", "dist", "incr",
 	}
 	known := map[string]bool{}
 	for _, name := range registered {
@@ -271,6 +271,32 @@ func main() {
 			Series:    series,
 		})
 		delete(want, "plan")
+		if len(want) == 0 {
+			finish()
+			return
+		}
+		fmt.Println()
+	}
+	if want["incr"] {
+		n, mem := scaledWorkload()
+		start := time.Now()
+		series, err := runIncr(incrConfig{
+			objects: n,
+			seed:    *seed,
+			memory:  mem,
+			par:     *parallel,
+			out:     os.Stdout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "incr: %v\n", err)
+			os.Exit(1)
+		}
+		summary.Experiments = append(summary.Experiments, jsonExperiment{
+			Name:      "incr",
+			ElapsedMS: time.Since(start).Milliseconds(),
+			Series:    series,
+		})
+		delete(want, "incr")
 		if len(want) == 0 {
 			finish()
 			return

@@ -84,7 +84,7 @@ func runPlan(cfg planConfig) ([]experiments.Series, error) {
 			if err != nil {
 				return nil, err
 			}
-			ds, err := eng.Load(objs)
+			ds, err := eng.Load(context.Background(), objs)
 			if err != nil {
 				_ = eng.Close()
 				return nil, err

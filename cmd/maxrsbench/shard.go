@@ -83,7 +83,7 @@ func runShard(cfg shardBenchConfig) ([]experiments.Series, error) {
 				if err != nil {
 					return nil, err
 				}
-				ds, err := eng.Load(objs)
+				ds, err := eng.Load(context.Background(), objs)
 				if err != nil {
 					_ = eng.Close()
 					return nil, err

@@ -3,6 +3,8 @@ package main
 import (
 	"container/list"
 	"sync"
+
+	"maxrs"
 )
 
 // resultCache is a concurrency-safe LRU of solved query responses keyed by
@@ -18,6 +20,18 @@ import (
 // A donor that ran dry (fewer results than its requested k) serves every
 // larger k too. Generations partition families, so reuse never crosses a
 // dataset reload; failed queries are never stored at all.
+//
+// Mutable datasets add a second freshness axis: every entry records the
+// dataset's mutation sequence number at solve time, and lookups (exact and
+// containment alike) hit only at the same sequence — a mutated dataset is
+// never answered from a pre-mutation result, even when the mutation could
+// not have changed it (the optimum may have MOVED somewhere the cached
+// regions never saw; only the engine's delta path can prove it didn't).
+// Mutations additionally invalidate subtractively: entries whose recorded
+// optimal regions closed-intersect a changed point's influence rectangle
+// are provably wrong and dropped outright; the rest survive in the LRU to
+// be revalidated (re-executed — cheap through the engine's combined
+// base+delta path — and re-put) on their next access.
 type resultCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -42,6 +56,39 @@ type cacheEntry struct {
 	family    string
 	k         int
 	exhausted bool
+	meta      entryMeta
+}
+
+// entryMeta is the freshness record of one cached response: which
+// dataset registration and mutation sequence it was solved at, and —
+// for the rectangle ops — the query shape and the optimal regions of
+// its results, the inputs of subtractive invalidation.
+type entryMeta struct {
+	gen, seq uint64
+	op       string
+	w, h     float64
+	regions  []maxrs.Rect
+}
+
+// affected reports whether a mutation at the given points can falsify
+// this entry's recorded results: some point's influence rectangle (the
+// w×h neighborhood within which a query rectangle can cover it)
+// closed-intersects a recorded optimal region. Ops without recorded
+// regions (maxcrs; defensive empty results) are always affected.
+func (m entryMeta) affected(pts []maxrs.Point) bool {
+	if (m.op != "maxrs" && m.op != "topk") || len(m.regions) == 0 {
+		return true
+	}
+	hw, hh := m.w/2, m.h/2
+	for _, p := range pts {
+		for _, r := range m.regions {
+			if p.X >= r.MinX-hw && p.X <= r.MaxX+hw &&
+				p.Y >= r.MinY-hh && p.Y <= r.MaxY+hh {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func newResultCache(capacity int) *resultCache {
@@ -52,14 +99,17 @@ func newResultCache(capacity int) *resultCache {
 	}
 }
 
-func (c *resultCache) get(key string) (queryResponse, bool) {
+// get answers an exact-key lookup at the dataset's current mutation
+// sequence. A stale-sequence entry is a miss — it stays in the LRU for
+// the caller to revalidate and re-put.
+func (c *resultCache) get(key string, seq uint64) (queryResponse, bool) {
 	if c.cap <= 0 {
 		return queryResponse{}, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
-	if !ok {
+	if !ok || el.Value.(*cacheEntry).meta.seq != seq {
 		c.misses++
 		return queryResponse{}, false
 	}
@@ -70,10 +120,12 @@ func (c *resultCache) get(key string) (queryResponse, bool) {
 
 // reuse answers a containment lookup: the family's donor serves a
 // request wanting k results when it holds at least that many rounds
-// (k ≤ donor.k) or ran the dataset dry. The donor's response rides back
-// for the caller to trim; reuse hits are counted separately from exact
-// hits so the two cache effects stay observable apart.
-func (c *resultCache) reuse(family string, k int) (queryResponse, bool) {
+// (k ≤ donor.k) or ran the dataset dry — and was solved at the
+// dataset's current mutation sequence (a stale donor's greedy sequence
+// may no longer be the dataset's). The donor's response rides back for
+// the caller to trim; reuse hits are counted separately from exact hits
+// so the two cache effects stay observable apart.
+func (c *resultCache) reuse(family string, k int, seq uint64) (queryResponse, bool) {
 	if c.cap <= 0 || family == "" {
 		return queryResponse{}, false
 	}
@@ -84,6 +136,9 @@ func (c *resultCache) reuse(family string, k int) (queryResponse, bool) {
 		return queryResponse{}, false
 	}
 	e := el.Value.(*cacheEntry)
+	if e.meta.seq != seq {
+		return queryResponse{}, false
+	}
 	if k > e.k && !e.exhausted {
 		return queryResponse{}, false
 	}
@@ -96,7 +151,7 @@ func (c *resultCache) reuse(family string, k int) (queryResponse, bool) {
 // as a containment donor for its (generation, w, h) family, displacing
 // the current donor only when it covers strictly more (exhausted beats
 // bounded; larger k beats smaller).
-func (c *resultCache) put(key string, val queryResponse, family string, k int, exhausted bool) {
+func (c *resultCache) put(key string, val queryResponse, family string, k int, exhausted bool, meta entryMeta) {
 	if c.cap <= 0 {
 		return
 	}
@@ -107,23 +162,48 @@ func (c *resultCache) put(key string, val queryResponse, family string, k int, e
 		if c.families[e.family] == el {
 			delete(c.families, e.family)
 		}
-		*e = cacheEntry{key: key, val: val, family: family, k: k, exhausted: exhausted}
+		*e = cacheEntry{key: key, val: val, family: family, k: k, exhausted: exhausted, meta: meta}
 		c.ll.MoveToFront(el)
 		c.promote(el)
 		return
 	}
 	for c.ll.Len() >= c.cap {
-		back := c.ll.Back()
-		e := back.Value.(*cacheEntry)
-		delete(c.byKey, e.key)
-		if c.families[e.family] == back {
-			delete(c.families, e.family)
-		}
-		c.ll.Remove(back)
+		c.drop(c.ll.Back())
 	}
-	el := c.ll.PushFront(&cacheEntry{key: key, val: val, family: family, k: k, exhausted: exhausted})
+	el := c.ll.PushFront(&cacheEntry{key: key, val: val, family: family, k: k, exhausted: exhausted, meta: meta})
 	c.byKey[key] = el
 	c.promote(el)
+}
+
+// drop removes one entry and its indexes. Caller holds c.mu.
+func (c *resultCache) drop(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	delete(c.byKey, e.key)
+	if c.families[e.family] == el {
+		delete(c.families, e.family)
+	}
+	c.ll.Remove(el)
+}
+
+// invalidate applies one mutation's influence to the generation's
+// entries: entries whose recorded regions closed-intersect any changed
+// point's influence rectangle are dropped (their recorded optimum is
+// provably stale); the rest survive for revalidation. Walking the whole
+// LRU is fine — it is bounded by the configured capacity.
+func (c *resultCache) invalidate(gen uint64, pts []maxrs.Point) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.meta.gen == gen && e.meta.affected(pts) {
+			c.drop(el)
+		}
+	}
 }
 
 // promote makes el its family's donor if it covers more than the current

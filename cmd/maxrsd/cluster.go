@@ -42,11 +42,11 @@ func (s *server) handleShardSolve(w http.ResponseWriter, r *http.Request) {
 	ctx, stop := s.queryContext(r, s.timeout)
 	defer stop()
 	if err := s.acquire(ctx); err != nil {
-		code := http.StatusServiceUnavailable
+		status, code := http.StatusServiceUnavailable, codeUnavailable
 		if errors.Is(err, context.DeadlineExceeded) {
-			code = http.StatusGatewayTimeout
+			status, code = http.StatusGatewayTimeout, codeTimeout
 		}
-		httpError(w, code, "queue wait: %v", err)
+		httpError(w, status, code, "queue wait: %v", err)
 		return
 	}
 	defer s.release()
@@ -56,24 +56,16 @@ func (s *server) handleShardSolve(w http.ResponseWriter, r *http.Request) {
 		// In-flight damage is retryable — the coordinator's resend carries
 		// clean bytes — while a genuinely malformed request is not.
 		if errors.Is(err, dist.ErrBadChecksum) {
-			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			httpError(w, http.StatusServiceUnavailable, codeUnavailable, "%v", err)
 			return
 		}
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, http.StatusBadRequest, codeInvalidArgument, "%v", err)
 		return
 	}
 	reply, err := s.solveShard(ctx, req)
 	if err != nil {
-		code := http.StatusInternalServerError
-		switch {
-		case errors.Is(err, maxrs.ErrInvalidQuery):
-			code = http.StatusBadRequest
-		case errors.Is(err, context.DeadlineExceeded):
-			code = http.StatusGatewayTimeout
-		case errors.Is(err, maxrs.ErrQueryCancelled):
-			code = http.StatusServiceUnavailable
-		}
-		httpError(w, code, "shard solve: %v", err)
+		status, code := errStatus(err)
+		httpError(w, status, code, "shard solve: %v", err)
 		return
 	}
 	_ = dist.WriteReply(w, reply) // write errors mean the client is gone
@@ -91,7 +83,7 @@ func (s *server) solveShard(ctx context.Context, req dist.SolveRequest) (dist.So
 	for i, o := range req.Objects {
 		objs[i] = maxrs.Object{X: o.X, Y: o.Y, Weight: o.W}
 	}
-	ds, err := s.eng.Load(objs)
+	ds, err := s.eng.Load(ctx, objs)
 	if err != nil {
 		return dist.SolveReply{}, err
 	}
@@ -144,15 +136,15 @@ func (s *server) handleListWorkers(w http.ResponseWriter, _ *http.Request) {
 func (s *server) handleAddWorker(w http.ResponseWriter, r *http.Request) {
 	var req workerJSON
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBody)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		httpError(w, http.StatusBadRequest, codeInvalidArgument, "bad request body: %v", err)
 		return
 	}
 	if req.URL == "" {
-		httpError(w, http.StatusBadRequest, "worker registration needs a url")
+		httpError(w, http.StatusBadRequest, codeInvalidArgument, "worker registration needs a url")
 		return
 	}
 	if !s.eng.RegisterWorker(req.Name, req.URL) {
-		httpError(w, http.StatusPreconditionFailed,
+		httpError(w, http.StatusPreconditionFailed, codeInvalidArgument,
 			"not a coordinator (start maxrsd with -peers or -coordinator)")
 		return
 	}
@@ -162,7 +154,7 @@ func (s *server) handleAddWorker(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleRemoveWorker(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if !s.eng.RemoveWorker(name) {
-		httpError(w, http.StatusNotFound, "no worker %q", name)
+		httpError(w, http.StatusNotFound, codeNotFound, "no worker %q", name)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"removed": name})
@@ -177,7 +169,7 @@ func joinCluster(coordinator, name, advertise string) error {
 	if err != nil {
 		return err
 	}
-	target := strings.TrimSuffix(coordinator, "/") + "/cluster/workers"
+	target := strings.TrimSuffix(coordinator, "/") + "/v1/cluster/workers"
 	var lastErr error
 	for attempt := 0; attempt < 5; attempt++ {
 		if attempt > 0 {

@@ -23,35 +23,52 @@
 //	maxrsd -addr=:8081 -join=http://localhost:8080 \
 //	       -advertise=http://localhost:8081 -name=a
 //
-// API:
+// API (canonical under /v1/; the bare pre-versioning paths remain for
+// one release as aliases answering with a "Deprecation: true" header;
+// errors are a uniform envelope
+// {"error":{"code":...,"message":...,"retryable":...}}):
 //
-//	GET    /healthz                 liveness (alias of /livez)
-//	GET    /livez                   liveness: the process is up
-//	GET    /readyz                  readiness: 503 before the engine is up
-//	                                and while draining for shutdown
-//	GET    /stats                   global I/O counters, cache + leak gauges
-//	GET    /datasets                list loaded datasets with their
-//	                                load-time statistics + cache counters
-//	PUT    /datasets/{name}         load CSV from the request body
-//	                                (response includes dataset statistics)
-//	PUT    /datasets/{name}?path=P  load CSV from P under -datadir
-//	                                (requires -datadir; confined to it)
-//	PUT    /datasets/{name}?shards=K  solve queries on this dataset K-way
-//	                                sharded (overrides -shards; 0 = default)
-//	DELETE /datasets/{name}         release a dataset (safe mid-query)
-//	POST   /query                   {"dataset":"d","op":"maxrs","w":4,"h":4}
-//	                                {"dataset":"d","op":"topk","w":4,"h":4,"k":3}
-//	                                {"dataset":"d","op":"maxcrs","diameter":4}
-//	POST   /query?timeout=500ms     per-query deadline (504 on expiry;
-//	                                clamped to -timeout when set)
-//	POST   /query?explain=1         plan the query without executing it:
-//	                                returns the chosen plan, predicted
-//	                                cost, and candidate table (maxrs/topk)
-//	POST   /shard/solve             solve one shipped shard (cluster
-//	                                internal; checksummed JSON)
-//	GET    /cluster/workers         membership table (coordinator)
-//	POST   /cluster/workers         register a worker {"name","url"}
-//	DELETE /cluster/workers/{name}  remove a worker
+//	GET    /v1/livez                   liveness: the process is up
+//	GET    /v1/readyz                  readiness: 503 before the engine is up
+//	                                   and while draining for shutdown
+//	GET    /v1/stats                   global I/O counters, cache + delta +
+//	                                   leak gauges
+//	GET    /v1/datasets                list loaded datasets with their
+//	                                   statistics, pending-mutation counts +
+//	                                   cache counters
+//	PUT    /v1/datasets/{name}         load CSV from the request body
+//	                                   (response includes dataset statistics)
+//	PUT    /v1/datasets/{name}?path=P  load CSV from P under -datadir
+//	                                   (requires -datadir; confined to it)
+//	PUT    /v1/datasets/{name}?shards=K  solve queries on this dataset K-way
+//	                                   sharded (overrides -shards; 0 = default)
+//	DELETE /v1/datasets/{name}         release a dataset (safe mid-query)
+//	POST   /v1/datasets/{name}/insert  {"objects":[{"x":1,"y":2,"w":3}]} —
+//	                                   buffer inserts; returns their ids
+//	POST   /v1/datasets/{name}/delete  {"ids":[5,17]} — delete by id
+//	                                   (atomic: any unknown id fails all)
+//	POST   /v1/query                   {"dataset":"d","op":"maxrs","w":4,"h":4}
+//	                                   {"dataset":"d","op":"topk","w":4,"h":4,"k":3}
+//	                                   {"dataset":"d","op":"maxcrs","diameter":4}
+//	POST   /v1/query?timeout=500ms     per-query deadline (504 on expiry;
+//	                                   clamped to -timeout when set)
+//	POST   /v1/query?explain=1         plan the query without executing it:
+//	                                   returns the chosen plan, predicted
+//	                                   cost, and candidate table (maxrs/topk)
+//	POST   /v1/shard/solve             solve one shipped shard (cluster
+//	                                   internal; checksummed JSON)
+//	GET    /v1/cluster/workers         membership table (coordinator)
+//	POST   /v1/cluster/workers         register a worker {"name","url"}
+//	DELETE /v1/cluster/workers/{name}  remove a worker
+//
+// Mutations buffer into the engine's delta layer: queries on a mutated
+// dataset stay exact (the engine solves the delta in memory and merges
+// with the cached base optimum when its influence bound allows — such
+// responses carry plan.delta.path "combined" and count into /v1/stats
+// delta_hits), and the background compactor folds deltas into the base
+// once they reach -deltacompact. Cached results are fenced on the
+// dataset's mutation sequence and invalidated subtractively: a mutation
+// drops only the entries whose optimal regions it could have changed.
 //
 // Under overload the server degrades instead of queueing unboundedly:
 // once -workers queries execute and -queue more wait, further cache
@@ -83,25 +100,26 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrently executing queries (further requests queue)")
-		cacheSize   = flag.Int("cache", 1024, "LRU capacity of cached query results (0 disables)")
-		blockSize   = flag.Int("block", 4096, "EM block size B in bytes")
-		memory      = flag.Int("mem", 1<<20, "EM memory budget M in bytes")
-		parallel    = flag.Int("parallel", 0, "solver worker goroutines shared by all queries (0 = GOMAXPROCS)")
-		shards      = flag.Int("shards", 0, "default shard count for object queries (0 = unsharded; PUT ?shards=K overrides per dataset)")
-		onDisk      = flag.Bool("ondisk", false, "back blocks with a temp file instead of process memory")
-		onDiskDir   = flag.String("ondiskdir", "", "directory for the -ondisk backing file (default: system temp)")
-		dataDir     = flag.String("datadir", "", "directory PUT /datasets/{name}?path= may read CSV files from (empty disables server-local loads)")
-		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline: in-flight queries get this long to finish before they are cancelled")
-		timeout     = flag.Duration("timeout", 0, "per-query deadline ceiling (0 = none; ?timeout= may tighten but not exceed it)")
-		queue       = flag.Int("queue", -1, "max queries waiting for a worker before shedding with 429 (-1 = 4×workers, 0 = shed once all workers busy)")
-		retries     = flag.Int("retries", 0, "retries per block transfer on transient storage faults and checksum mismatches (0 = fail fast)")
-		retryBase   = flag.Duration("retrybase", time.Millisecond, "initial retry backoff (doubles per attempt)")
-		retryMax    = flag.Duration("retrymax", 100*time.Millisecond, "retry backoff cap (0 = uncapped)")
-		retryJitter = flag.Int64("retryjitter", 0, "seed for decorrelated-jitter retry backoff, storage and worker calls alike (0 = plain doubling)")
-		checksums   = flag.Bool("checksums", false, "verify per-block CRC32C checksums on every read")
-		auto        = flag.Bool("auto", false, "let the cost model pick algorithm/shards/fusion per query (AlgorithmAuto)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrently executing queries (further requests queue)")
+		cacheSize    = flag.Int("cache", 1024, "LRU capacity of cached query results (0 disables)")
+		blockSize    = flag.Int("block", 4096, "EM block size B in bytes")
+		memory       = flag.Int("mem", 1<<20, "EM memory budget M in bytes")
+		parallel     = flag.Int("parallel", 0, "solver worker goroutines shared by all queries (0 = GOMAXPROCS)")
+		shards       = flag.Int("shards", 0, "default shard count for object queries (0 = unsharded; PUT ?shards=K overrides per dataset)")
+		onDisk       = flag.Bool("ondisk", false, "back blocks with a temp file instead of process memory")
+		onDiskDir    = flag.String("ondiskdir", "", "directory for the -ondisk backing file (default: system temp)")
+		dataDir      = flag.String("datadir", "", "directory PUT /datasets/{name}?path= may read CSV files from (empty disables server-local loads)")
+		drain        = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline: in-flight queries get this long to finish before they are cancelled")
+		timeout      = flag.Duration("timeout", 0, "per-query deadline ceiling (0 = none; ?timeout= may tighten but not exceed it)")
+		queue        = flag.Int("queue", -1, "max queries waiting for a worker before shedding with 429 (-1 = 4×workers, 0 = shed once all workers busy)")
+		retries      = flag.Int("retries", 0, "retries per block transfer on transient storage faults and checksum mismatches (0 = fail fast)")
+		retryBase    = flag.Duration("retrybase", time.Millisecond, "initial retry backoff (doubles per attempt)")
+		retryMax     = flag.Duration("retrymax", 100*time.Millisecond, "retry backoff cap (0 = uncapped)")
+		retryJitter  = flag.Int64("retryjitter", 0, "seed for decorrelated-jitter retry backoff, storage and worker calls alike (0 = plain doubling)")
+		checksums    = flag.Bool("checksums", false, "verify per-block CRC32C checksums on every read")
+		auto         = flag.Bool("auto", false, "let the cost model pick algorithm/shards/fusion per query (AlgorithmAuto)")
+		deltaCompact = flag.Int("deltacompact", 1024, "pending-mutation threshold for background dataset compaction (0 = compact inline at the engine default instead)")
 
 		// Cluster role flags (DESIGN.md §13). Coordinator side:
 		peers       = flag.String("peers", "", "comma-separated workers to fan sharded queries out to, each url or name=url (enables distributed execution)")
@@ -154,6 +172,13 @@ func main() {
 			distOpts.Workers = append(distOpts.Workers, maxrs.WorkerAddr{Name: wname, URL: url})
 		}
 	}
+	// With background compaction the engine never compacts inline
+	// (DeltaCompactAt < 0): mutations stay cheap appends and the
+	// compactor folds deltas off the query path.
+	deltaCompactAt := 0
+	if *deltaCompact > 0 {
+		deltaCompactAt = -1
+	}
 	eng, err := maxrs.NewEngine(&maxrs.Options{
 		Algorithm:   algorithm,
 		BlockSize:   *blockSize,
@@ -169,7 +194,8 @@ func main() {
 			MaxDelay:   *retryMax,
 			JitterSeed: *retryJitter,
 		},
-		Dist: distOpts,
+		Dist:           distOpts,
+		DeltaCompactAt: deltaCompactAt,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "maxrsd: %v\n", err)
@@ -180,6 +206,9 @@ func main() {
 	srv.timeout = *timeout
 	if *queue >= 0 {
 		srv.queue = *queue
+	}
+	if *deltaCompact > 0 {
+		srv.startCompactor(*deltaCompact, time.Second)
 	}
 	srv.markReady()
 	log.Printf("maxrsd: listening on %s (workers=%d cache=%d B=%d M=%d)",
@@ -236,6 +265,9 @@ func main() {
 		}
 	case err2 = <-serveErr:
 	}
+	// Background work (the delta compactor) must stop before the engine
+	// closes under it.
+	srv.stopBackground()
 	if err2 = errors.Join(err2, eng.Close()); err2 != nil {
 		log.Fatal(err2)
 	}

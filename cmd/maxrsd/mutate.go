@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"log"
+	"net/http"
+	"time"
+
+	"maxrs"
+)
+
+// This file is maxrsd's mutation surface: POST /v1/datasets/{name}/insert
+// and /delete buffer changes into the engine's delta layer (queries stay
+// exact — the engine combines or re-solves as its influence bound
+// allows), and the background compactor folds deltas into the base file
+// once they grow past -deltacompact, off the query path.
+
+// objectJSON is one object of an insert request.
+type objectJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	W float64 `json:"w"`
+}
+
+type insertRequest struct {
+	Objects []objectJSON `json:"objects"`
+}
+
+// insertResponse returns the engine-assigned ids of the inserted
+// objects (the handles DELETE takes) and the resulting delta size.
+type insertResponse struct {
+	IDs     []uint64 `json:"ids"`
+	Pending int      `json:"pending"`
+}
+
+type deleteRequest struct {
+	IDs []uint64 `json:"ids"`
+}
+
+type deleteResponse struct {
+	Removed int `json:"removed"`
+	Pending int `json:"pending"`
+}
+
+// handleInsert buffers objects into a dataset's delta. The mutation runs
+// under the same admission control and context plumbing as a query — a
+// Delete scans the base file and either may trigger an inline
+// compaction, so they are engine work, not metadata edits.
+func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req insertRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBody)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, codeInvalidArgument, "bad request body: %v", err)
+		return
+	}
+	if len(req.Objects) == 0 {
+		httpError(w, http.StatusBadRequest, codeInvalidArgument, "insert needs at least one object")
+		return
+	}
+	objs := make([]maxrs.Object, len(req.Objects))
+	pts := make([]maxrs.Point, len(req.Objects))
+	for i, o := range req.Objects {
+		objs[i] = maxrs.Object{X: o.X, Y: o.Y, Weight: o.W}
+		pts[i] = maxrs.Point{X: o.X, Y: o.Y}
+	}
+	s.mutate(w, r, func(ds *maxrs.Dataset) (any, []maxrs.Point, error) {
+		ids, err := ds.Insert(r.Context(), objs)
+		if err != nil {
+			return nil, nil, err
+		}
+		return insertResponse{IDs: ids, Pending: ds.Pending()}, pts, nil
+	})
+}
+
+// handleDelete removes objects by id — base records and buffered inserts
+// alike. The call is atomic: any unknown id fails the whole request with
+// not_found and nothing is deleted.
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req deleteRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBody)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, codeInvalidArgument, "bad request body: %v", err)
+		return
+	}
+	if len(req.IDs) == 0 {
+		httpError(w, http.StatusBadRequest, codeInvalidArgument, "delete needs at least one id")
+		return
+	}
+	s.mutate(w, r, func(ds *maxrs.Dataset) (any, []maxrs.Point, error) {
+		removed, err := ds.Delete(r.Context(), req.IDs)
+		if err != nil {
+			return nil, nil, err
+		}
+		pts := make([]maxrs.Point, len(removed))
+		for i, o := range removed {
+			pts[i] = maxrs.Point{X: o.X, Y: o.Y}
+		}
+		return deleteResponse{Removed: len(removed), Pending: ds.Pending()}, pts, nil
+	})
+}
+
+// mutate runs one mutation against the named dataset under admission
+// control, then applies its influence to the result cache: entries whose
+// recorded optimal regions a changed point could reach are dropped, the
+// rest survive for revalidation (DESIGN.md §14).
+func (s *server) mutate(w http.ResponseWriter, r *http.Request, fn func(*maxrs.Dataset) (any, []maxrs.Point, error)) {
+	name := r.PathValue("name")
+	entry, ok := s.lookup(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, codeNotFound, "no dataset %q", name)
+		return
+	}
+	if !s.admit() {
+		s.shed(w)
+		return
+	}
+	defer s.done()
+	ctx, stop := s.queryContext(r, s.timeout)
+	defer stop()
+	if err := s.acquire(ctx); err != nil {
+		status, code := http.StatusServiceUnavailable, codeUnavailable
+		if err == ctx.Err() && ctx.Err() != nil {
+			status, code = errStatus(err)
+		}
+		httpError(w, status, code, "queue wait: %v", err)
+		return
+	}
+	defer s.release()
+	resp, pts, err := fn(entry.ds)
+	if err != nil {
+		status, code := errStatus(err)
+		httpError(w, status, code, "mutate: %v", err)
+		return
+	}
+	s.cache.invalidate(entry.gen, pts)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// startCompactor launches the background delta compactor: every
+// interval it folds any dataset whose pending-mutation count reached
+// threshold into a fresh base file, off the query path (queries running
+// meanwhile finish on the old base — it is reference-counted). Fenced by
+// hardStop and tracked in s.bg: shutdown cancels and waits before the
+// engine closes.
+func (s *server) startCompactor(threshold int, interval time.Duration) {
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.hardStop.Done():
+				return
+			case <-t.C:
+			}
+			s.mu.RLock()
+			entries := make([]*dsEntry, 0, len(s.datasets))
+			for _, e := range s.datasets {
+				entries = append(entries, e)
+			}
+			s.mu.RUnlock()
+			for _, e := range entries {
+				if e.ds.Pending() < threshold {
+					continue
+				}
+				// A released dataset (DELETE racing the tick) is not an
+				// error worth logging; a cancelled compaction is shutdown.
+				if err := e.ds.Compact(s.hardStop); err != nil &&
+					s.hardStop.Err() == nil && !errors.Is(err, maxrs.ErrDatasetReleased) {
+					log.Printf("maxrsd: background compaction: %v", err)
+				}
+			}
+		}
+	}()
+}
+
+// stopBackground cancels the background goroutines (and any in-flight
+// queries — callers invoke it only at shutdown) and waits for them, so
+// the engine can close without work still running on it.
+func (s *server) stopBackground() {
+	s.cancelQueries()
+	s.bg.Wait()
+}

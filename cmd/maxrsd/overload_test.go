@@ -132,8 +132,10 @@ func TestFailedQueryNotCached(t *testing.T) {
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("faulted query: status %d body %s, want 500", resp.StatusCode, body)
 	}
-	var env map[string]string
-	if err := json.Unmarshal(body, &env); err != nil || env["error"] == "" {
+	var env struct {
+		Error errorJSON `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Message == "" || env.Error.Code == "" {
 		t.Fatalf("faulted query body %s: want an error envelope", body)
 	}
 	srv.eng.InjectFaults(maxrs.FaultPlan{}) // clear the fault (and bad-block marks)

@@ -15,7 +15,6 @@ import (
 	"time"
 
 	"maxrs"
-	"maxrs/internal/dist"
 )
 
 // server is the maxrsd serving layer: one shared concurrency-safe Engine,
@@ -59,6 +58,15 @@ type server struct {
 	// unaffected until the drain deadline.
 	drainCh   chan struct{}
 	drainOnce sync.Once
+
+	// deltaHits counts query responses solved through the engine's
+	// combined base+delta path — the observable payoff of delta
+	// maintenance under mutation load (/stats delta_hits).
+	deltaHits atomic.Uint64
+
+	// bg tracks background goroutines (the delta compactor); shutdown
+	// cancels hardStop and waits on bg before closing the engine.
+	bg sync.WaitGroup
 
 	mu       sync.RWMutex
 	datasets map[string]*dsEntry
@@ -126,7 +134,7 @@ func (s *server) retryAfterSeconds() int {
 // shed refuses one request with 429 + a load-derived Retry-After.
 func (s *server) shed(w http.ResponseWriter) {
 	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-	httpError(w, http.StatusTooManyRequests,
+	httpError(w, http.StatusTooManyRequests, codeSaturated,
 		"server saturated: %d queries executing or queued; retry later", s.inflight.Load())
 }
 
@@ -192,31 +200,110 @@ func (s *server) openDataPath(path string) (*os.File, error) {
 	return os.OpenInRoot(s.dataDir, path)
 }
 
+// deprecated wraps a handler registered under a pre-/v1/ path: it serves
+// identically but stamps a Deprecation header so clients can find and
+// migrate their callers before the aliases go away.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		h(w, r)
+	}
+}
+
 func (s *server) handler() http.Handler {
+	// The canonical API lives under /v1/; every route is also served at
+	// its pre-versioning path for one release, marked with a Deprecation
+	// header (the cluster-internal paths in internal/dist name the /v1/
+	// forms directly).
+	routes := []struct {
+		method, path string
+		h            http.HandlerFunc
+	}{
+		{"GET", "/livez", s.handleLivez},
+		{"GET", "/readyz", s.handleReadyz},
+		{"GET", "/stats", s.handleStats},
+		{"GET", "/datasets", s.handleListDatasets},
+		{"PUT", "/datasets/{name}", s.handlePutDataset},
+		{"DELETE", "/datasets/{name}", s.handleDeleteDataset},
+		{"POST", "/datasets/{name}/insert", s.handleInsert},
+		{"POST", "/datasets/{name}/delete", s.handleDelete},
+		{"POST", "/query", s.handleQuery},
+		// Cluster protocol (DESIGN.md §13): every maxrsd can serve shards —
+		// worker is a role per request, not a build — and the membership
+		// endpoints answer usefully only on a coordinator.
+		{"POST", "/shard/solve", s.handleShardSolve},
+		{"GET", "/cluster/workers", s.handleListWorkers},
+		{"POST", "/cluster/workers", s.handleAddWorker},
+		{"DELETE", "/cluster/workers/{name}", s.handleRemoveWorker},
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleLivez) // backward-compatible alias
-	mux.HandleFunc("GET /livez", s.handleLivez)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /datasets", s.handleListDatasets)
-	mux.HandleFunc("PUT /datasets/{name}", s.handlePutDataset)
-	mux.HandleFunc("DELETE /datasets/{name}", s.handleDeleteDataset)
-	mux.HandleFunc("POST /query", s.handleQuery)
-	// Cluster protocol (DESIGN.md §13): every maxrsd can serve shards —
-	// worker is a role per request, not a build — and the membership
-	// endpoints answer usefully only on a coordinator.
-	mux.HandleFunc("POST "+dist.PathSolve, s.handleShardSolve)
-	mux.HandleFunc("GET /cluster/workers", s.handleListWorkers)
-	mux.HandleFunc("POST /cluster/workers", s.handleAddWorker)
-	mux.HandleFunc("DELETE /cluster/workers/{name}", s.handleRemoveWorker)
+	for _, rt := range routes {
+		mux.HandleFunc(rt.method+" /v1"+rt.path, rt.h)
+		mux.HandleFunc(rt.method+" "+rt.path, deprecated(rt.h))
+	}
+	mux.HandleFunc("GET /healthz", deprecated(s.handleLivez)) // historical alias
 	return mux
 }
 
-// httpError is the uniform JSON error envelope.
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+// Error codes of the uniform /v1 error envelope. Clients branch on the
+// code, not the HTTP status or the message text.
+const (
+	codeInvalidArgument = "invalid_argument"
+	codeNotFound        = "not_found"
+	codeSaturated       = "saturated"
+	codeTimeout         = "timeout"
+	codeCancelled       = "cancelled"
+	codeUnavailable     = "unavailable"
+	codeInternal        = "internal"
+)
+
+// retryableCode reports whether a code names a transient condition a
+// client may retry verbatim (elsewhere or later) — load, deadlines and
+// shutdown, as opposed to requests that are wrong or name nothing.
+func retryableCode(code string) bool {
+	switch code {
+	case codeSaturated, codeTimeout, codeCancelled, codeUnavailable:
+		return true
+	}
+	return false
+}
+
+// errorJSON is the body of the uniform error envelope:
+// {"error":{"code":...,"message":...,"retryable":...}}.
+type errorJSON struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+}
+
+// httpError writes the uniform JSON error envelope.
+func httpError(w http.ResponseWriter, status int, code string, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]errorJSON{"error": {
+		Code:      code,
+		Message:   fmt.Sprintf(format, args...),
+		Retryable: retryableCode(code),
+	}})
+}
+
+// errStatus maps an engine/handler error onto its HTTP status and
+// envelope code. The deadline arm must precede the cancellation one:
+// a timed-out query's error matches both.
+func errStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, maxrs.ErrInvalidQuery), errors.Is(err, errUnknownOp):
+		return http.StatusBadRequest, codeInvalidArgument
+	case errors.Is(err, maxrs.ErrUnknownID), errors.Is(err, maxrs.ErrDatasetReleased):
+		return http.StatusNotFound, codeNotFound
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, codeTimeout
+	case errors.Is(err, maxrs.ErrQueryCancelled):
+		// A disconnected client never reads this; a shutdown-cancelled
+		// straggler gets an honest "try elsewhere".
+		return http.StatusServiceUnavailable, codeCancelled
+	}
+	return http.StatusInternalServerError, codeInternal
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -267,6 +354,10 @@ type statsResponse struct {
 	// rather than an exact key match.
 	CacheReuseHits uint64 `json:"cache_reuse_hits"`
 	CacheEntries   int    `json:"cache_entries"`
+	// DeltaHits counts queries answered through the engine's combined
+	// base+delta path: pending mutations solved in memory and merged
+	// with the cached base optimum instead of a full re-solve.
+	DeltaHits uint64 `json:"delta_hits"`
 	// Workers/WorkersReady size the membership table on a coordinator
 	// (omitted on plain servers and workers).
 	Workers      int `json:"workers,omitempty"`
@@ -300,7 +391,8 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		BlocksInUse: s.eng.BlocksInUse(), Datasets: n,
 		CacheHits: cs.Hits, CacheMisses: cs.Misses,
 		CacheReuseHits: cs.ReuseHits, CacheEntries: cs.Entries,
-		NetCalls: s.eng.NetFaultStats().Calls,
+		DeltaHits: s.deltaHits.Load(),
+		NetCalls:  s.eng.NetFaultStats().Calls,
 	}
 	for _, wk := range s.eng.Workers() {
 		out.Workers++
@@ -343,7 +435,13 @@ type datasetInfo struct {
 	// Shards is the dataset's shard-count override (0 = the engine's
 	// -shards default applies).
 	Shards int `json:"shards,omitempty"`
-	// Stats are the load-time dataset statistics the planner works from.
+	// Pending is the dataset's buffered (uncompacted) mutation count;
+	// Mutations and Compactions are its lifetime counters.
+	Pending     int    `json:"pending,omitempty"`
+	Mutations   uint64 `json:"mutations,omitempty"`
+	Compactions uint64 `json:"compactions,omitempty"`
+	// Stats are the effective dataset statistics the planner works from
+	// (pending mutations folded in).
 	Stats *datasetStatsJSON `json:"stats,omitempty"`
 }
 
@@ -361,6 +459,7 @@ func (s *server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
 		st := fromDatasetStats(e.ds.Stats())
 		infos = append(infos, datasetInfo{
 			Name: name, Objects: e.ds.Len(), Blocks: e.ds.Blocks(), Shards: e.ds.Shards(),
+			Pending: e.ds.Pending(), Mutations: e.ds.Mutations(), Compactions: e.ds.Compactions(),
 			Stats: &st,
 		})
 	}
@@ -386,7 +485,7 @@ func (s *server) handlePutDataset(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("shards"); v != "" {
 		k, err := strconv.Atoi(v)
 		if err != nil || k < 0 {
-			httpError(w, http.StatusBadRequest, "bad shards=%q: want an integer ≥ 0", v)
+			httpError(w, http.StatusBadRequest, codeInvalidArgument, "bad shards=%q: want an integer ≥ 0", v)
 			return
 		}
 		shards = k
@@ -395,24 +494,24 @@ func (s *server) handlePutDataset(w http.ResponseWriter, r *http.Request) {
 	if path := r.URL.Query().Get("path"); path != "" {
 		f, err := s.openDataPath(path)
 		if err != nil {
-			code := http.StatusBadRequest
+			code, ec := http.StatusBadRequest, codeInvalidArgument
 			if s.dataDir == "" {
-				code = http.StatusForbidden
+				code, ec = http.StatusForbidden, codeUnavailable
 			}
-			httpError(w, code, "open %s: %v", path, err)
+			httpError(w, code, ec, "open %s: %v", path, err)
 			return
 		}
 		defer f.Close()
 		src = f
 	}
-	ds, err := s.eng.LoadCSV(src)
+	ds, err := s.eng.LoadCSV(r.Context(), src)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "load: %v", err)
+		httpError(w, http.StatusBadRequest, codeInvalidArgument, "load: %v", err)
 		return
 	}
 	if err := ds.SetShards(shards); err != nil {
 		_ = ds.Release()
-		httpError(w, http.StatusBadRequest, "shards: %v", err)
+		httpError(w, http.StatusBadRequest, codeInvalidArgument, "shards: %v", err)
 		return
 	}
 	entry := &dsEntry{ds: ds, gen: s.nextGen.Add(1)}
@@ -436,11 +535,11 @@ func (s *server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 	delete(s.datasets, name)
 	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, "no dataset %q", name)
+		httpError(w, http.StatusNotFound, codeNotFound, "no dataset %q", name)
 		return
 	}
 	if err := entry.ds.Release(); err != nil {
-		httpError(w, http.StatusInternalServerError, "release: %v", err)
+		httpError(w, http.StatusInternalServerError, codeInternal, "release: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
@@ -496,29 +595,59 @@ func fromPredicted(c maxrs.PredictedCost) costJSON {
 	return costJSON{Reads: c.Reads, Writes: c.Writes, Total: c.Total(), Exact: c.Exact}
 }
 
+// deltaPlanJSON reports how a query on a dataset with pending mutations
+// was executed: "combined" solved the delta in memory against the cached
+// base optimum, "fused" re-solved the materialized effective dataset.
+type deltaPlanJSON struct {
+	Pending    int    `json:"pending"`
+	Inserts    int    `json:"inserts"`
+	Deletes    int    `json:"deletes"`
+	Path       string `json:"path,omitempty"`
+	BaseCached bool   `json:"base_cached,omitempty"`
+}
+
 // planJSON is the materialized execution decision of a query.
 type planJSON struct {
-	Algorithm string   `json:"algorithm"`
-	Shards    int      `json:"shards,omitempty"`
-	Unfused   bool     `json:"unfused,omitempty"`
-	Auto      bool     `json:"auto,omitempty"`
-	Predicted costJSON `json:"predicted"`
+	Algorithm string         `json:"algorithm"`
+	Shards    int            `json:"shards,omitempty"`
+	Unfused   bool           `json:"unfused,omitempty"`
+	Auto      bool           `json:"auto,omitempty"`
+	Delta     *deltaPlanJSON `json:"delta,omitempty"`
+	Predicted costJSON       `json:"predicted"`
 }
 
 func fromPlan(p maxrs.Plan) planJSON {
-	return planJSON{
+	out := planJSON{
 		Algorithm: p.Algorithm.String(),
 		Shards:    p.Shards,
 		Unfused:   p.Unfused,
 		Auto:      p.Auto,
 		Predicted: fromPredicted(p.Predicted),
 	}
+	if d := p.Delta; d != nil {
+		out.Delta = &deltaPlanJSON{
+			Pending: d.Pending, Inserts: d.Inserts, Deletes: d.Deletes,
+			Path: d.Path, BaseCached: d.BaseCached,
+		}
+	}
+	return out
+}
+
+// rectJSON is an axis-aligned region (of optimal center positions).
+type rectJSON struct {
+	MinX float64 `json:"min_x"`
+	MinY float64 `json:"min_y"`
+	MaxX float64 `json:"max_x"`
+	MaxY float64 `json:"max_y"`
 }
 
 type queryResult struct {
 	Location pointJSON `json:"location"`
 	Score    float64   `json:"score"`
-	Stats    statsJSON `json:"stats"`
+	// Region is the full set of optimal center positions (rectangle ops
+	// only); it also drives the cache's subtractive invalidation.
+	Region *rectJSON `json:"region,omitempty"`
+	Stats  statsJSON `json:"stats"`
 	// Plan is the execution decision the query ran under, with its
 	// predicted cost next to the measured Stats.
 	Plan *planJSON `json:"plan,omitempty"`
@@ -550,6 +679,7 @@ func fromResult(r maxrs.Result) queryResult {
 	out := queryResult{
 		Location:       pointJSON{X: r.Location.X, Y: r.Location.Y},
 		Score:          r.Score,
+		Region:         &rectJSON{MinX: r.Region.MinX, MinY: r.Region.MinY, MaxX: r.Region.MaxX, MaxY: r.Region.MaxY},
 		Stats:          statsJSON{Reads: r.Stats.Reads, Writes: r.Stats.Writes, Total: r.Stats.Total()},
 		Plan:           &pl,
 		FallbackReason: r.FallbackReason,
@@ -675,29 +805,33 @@ func adaptDonor(donor queryResponse, req queryRequest, want int) (queryResponse,
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBody)).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		httpError(w, http.StatusBadRequest, codeInvalidArgument, "bad request body: %v", err)
 		return
 	}
 	entry, ok := s.lookup(req.Dataset)
 	if !ok {
-		httpError(w, http.StatusNotFound, "no dataset %q", req.Dataset)
+		httpError(w, http.StatusNotFound, codeNotFound, "no dataset %q", req.Dataset)
 		return
 	}
 	// ?explain=1 plans the query without executing: no cache, no
 	// admission, no engine I/O — just the cost model over the dataset's
 	// load-time statistics.
 	if r.URL.Query().Get("explain") == "1" {
-		s.handleExplain(w, entry, req)
+		s.handleExplain(w, r, entry, req)
 		return
 	}
 	// Validate before serving from cache: a malformed request is a 400
 	// even when an identical well-formed one was answered before.
 	timeout, err := s.queryTimeout(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, http.StatusBadRequest, codeInvalidArgument, "%v", err)
 		return
 	}
-	if resp, ok := s.cache.get(cacheKey(entry.gen, req)); ok {
+	// Cache lookups are fenced on the dataset's mutation sequence:
+	// entries solved before a mutation are never served directly — their
+	// next access re-executes (cheap when the engine's combined
+	// base+delta path applies) and re-puts them fresh.
+	if resp, ok := s.cache.get(cacheKey(entry.gen, req), entry.ds.Mutations()); ok {
 		resp.Cached = true
 		writeJSON(w, http.StatusOK, resp)
 		return
@@ -706,7 +840,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// (generation, w, h) family answers MaxRS and TopK(k ≤ k') without
 	// touching the engine (DESIGN.md §12.6).
 	if want := reuseWant(req); want > 0 {
-		if donor, ok := s.cache.reuse(familyKey(entry.gen, req), want); ok {
+		if donor, ok := s.cache.reuse(familyKey(entry.gen, req), want, entry.ds.Mutations()); ok {
 			if resp, ok := adaptDonor(donor, req, want); ok {
 				writeJSON(w, http.StatusOK, resp)
 				return
@@ -732,11 +866,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, stop := s.queryContext(r, timeout)
 	defer stop()
 	if err := s.acquire(ctx); err != nil {
-		code := http.StatusServiceUnavailable
+		status, code := http.StatusServiceUnavailable, codeUnavailable
 		if errors.Is(err, context.DeadlineExceeded) {
-			code = http.StatusGatewayTimeout
+			status, code = http.StatusGatewayTimeout, codeTimeout
 		}
-		httpError(w, code, "queue wait: %v", err)
+		httpError(w, status, code, "queue wait: %v", err)
 		return
 	}
 	defer s.release()
@@ -745,47 +879,69 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// entry — not a released old one — must serve it.
 	entry, ok = s.lookup(req.Dataset)
 	if !ok {
-		httpError(w, http.StatusNotFound, "no dataset %q", req.Dataset)
+		httpError(w, http.StatusNotFound, codeNotFound, "no dataset %q", req.Dataset)
 		return
 	}
 	// The dataset can still be replaced or deleted between the lookup and
 	// the engine call; ErrDatasetReleased then means "stale entry" — retry
 	// against the current registration, 404 only if the name is truly gone.
+	// The solve-time mutation sequence is read BEFORE the solve: a
+	// mutation landing mid-solve leaves the entry tagged older than the
+	// dataset, so it revalidates on its next access — never the unsound
+	// direction (sequences only grow; no later lookup can carry seq).
 	var resp queryResponse
+	var seq uint64
 	for {
+		seq = entry.ds.Mutations()
 		resp, err = s.runQuery(ctx, entry, req)
 		if err == nil || !errors.Is(err, maxrs.ErrDatasetReleased) {
 			break
 		}
 		fresh, ok := s.lookup(req.Dataset)
 		if !ok || fresh.gen == entry.gen {
-			httpError(w, http.StatusNotFound, "no dataset %q", req.Dataset)
+			httpError(w, http.StatusNotFound, codeNotFound, "no dataset %q", req.Dataset)
 			return
 		}
 		entry = fresh
 	}
 	if err != nil {
-		code := http.StatusInternalServerError
-		switch {
-		case errors.Is(err, maxrs.ErrInvalidQuery), errors.Is(err, errUnknownOp):
-			code = http.StatusBadRequest
-		case errors.Is(err, context.DeadlineExceeded):
-			// The per-query timeout expired mid-solve (this arm must come
-			// before the cancellation one: the error matches both).
-			code = http.StatusGatewayTimeout
-		case errors.Is(err, maxrs.ErrQueryCancelled):
-			// A disconnected client never reads this; a shutdown-cancelled
-			// straggler gets an honest "try elsewhere".
-			code = http.StatusServiceUnavailable
-		}
 		// Failed queries are never cached: the next attempt recomputes
 		// rather than replaying a failure (or worse, a partial result).
-		httpError(w, code, "query: %v", err)
+		status, code := errStatus(err)
+		httpError(w, status, code, "query: %v", err)
 		return
 	}
+	s.countDeltaHits(resp)
 	family, k, exhausted := donorInfo(entry.gen, req, resp)
-	s.cache.put(cacheKey(entry.gen, req), resp, family, k, exhausted)
+	s.cache.put(cacheKey(entry.gen, req), resp, family, k, exhausted, entryMetaOf(entry.gen, seq, req, resp))
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// countDeltaHits bumps the delta_hits counter for responses whose solve
+// took the engine's combined base+delta path.
+func (s *server) countDeltaHits(resp queryResponse) {
+	for _, qr := range resp.Results {
+		if qr.Plan != nil && qr.Plan.Delta != nil && qr.Plan.Delta.Path == "combined" {
+			s.deltaHits.Add(1)
+			return
+		}
+	}
+}
+
+// entryMetaOf builds one cached response's freshness record: generation,
+// solve-time mutation sequence, query shape, and the optimal regions of
+// its results (the inputs of subtractive invalidation).
+func entryMetaOf(gen, seq uint64, req queryRequest, resp queryResponse) entryMeta {
+	m := entryMeta{gen: gen, seq: seq, op: req.Op, w: req.W, h: req.H}
+	for _, qr := range resp.Results {
+		if qr.Region != nil {
+			m.regions = append(m.regions, maxrs.Rect{
+				MinX: qr.Region.MinX, MinY: qr.Region.MinY,
+				MaxX: qr.Region.MaxX, MaxY: qr.Region.MaxY,
+			})
+		}
+	}
+	return m
 }
 
 // explainResponse is the ?explain=1 answer: the plan the query would
@@ -813,23 +969,17 @@ type candidateJSON struct {
 
 // handleExplain answers ?explain=1 for the rectangle ops: the plan of
 // the underlying object solve (for topk, that is one greedy round).
-func (s *server) handleExplain(w http.ResponseWriter, entry *dsEntry, req queryRequest) {
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request, entry *dsEntry, req queryRequest) {
 	switch req.Op {
 	case "maxrs", "topk":
 	default:
-		httpError(w, http.StatusBadRequest, "explain supports op maxrs and topk, not %q", req.Op)
+		httpError(w, http.StatusBadRequest, codeInvalidArgument, "explain supports op maxrs and topk, not %q", req.Op)
 		return
 	}
-	ex, err := s.eng.Explain(entry.ds, req.W, req.H)
+	ex, err := s.eng.Explain(r.Context(), entry.ds, req.W, req.H)
 	if err != nil {
-		code := http.StatusInternalServerError
-		switch {
-		case errors.Is(err, maxrs.ErrInvalidQuery):
-			code = http.StatusBadRequest
-		case errors.Is(err, maxrs.ErrDatasetReleased):
-			code = http.StatusNotFound
-		}
-		httpError(w, code, "explain: %v", err)
+		status, code := errStatus(err)
+		httpError(w, status, code, "explain: %v", err)
 		return
 	}
 	out := explainResponse{

@@ -37,7 +37,7 @@ func testDataset(t *testing.T, e *Engine, n int) *Dataset {
 			Weight: float64(1 + rng.Intn(5)),
 		}
 	}
-	d, err := e.Load(objs)
+	d, err := e.Load(context.Background(), objs)
 	if err != nil {
 		t.Fatal(err)
 	}

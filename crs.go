@@ -54,7 +54,16 @@ func (e *Engine) MaxCRS(ctx context.Context, d *Dataset, diameter float64, opts 
 		return CRSResult{}, err
 	}
 	defer q.end(&err)
-	res, err := crs.ApproxScoped(q.ctx, q.solver, d.file, diameter, q.sc)
+	f, owned, err := q.effFile(nil)
+	if err != nil {
+		return CRSResult{}, err
+	}
+	res, err := crs.ApproxScoped(q.ctx, q.solver, f, diameter, q.sc)
+	if owned {
+		if rerr := f.Release(); rerr != nil && err == nil {
+			err = rerr
+		}
+	}
 	if err != nil {
 		return CRSResult{}, err
 	}
@@ -82,7 +91,7 @@ func MaxCRS(ctx context.Context, objs []Object, diameter float64, opts *Options,
 		return CRSResult{}, err
 	}
 	defer closeEngine(e, &err)
-	d, err := e.Load(objs)
+	d, err := e.Load(ctx, objs)
 	if err != nil {
 		return CRSResult{}, err
 	}

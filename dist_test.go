@@ -50,7 +50,7 @@ func testWorker(t *testing.T, delay time.Duration) *httptest.Server {
 		for i, o := range req.Objects {
 			objs[i] = Object{X: o.X, Y: o.Y, Weight: o.W}
 		}
-		ds, err := eng.Load(objs)
+		ds, err := eng.Load(context.Background(), objs)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return

@@ -55,7 +55,7 @@ func ExampleEngine_MaxRS() {
 	for i := 0; i < 1000; i++ {
 		objs = append(objs, maxrs.Object{X: float64(i % 50), Y: float64(i / 50), Weight: 1})
 	}
-	ds, err := engine.Load(objs)
+	ds, err := engine.Load(context.Background(), objs)
 	if err != nil {
 		panic(err)
 	}
@@ -81,7 +81,7 @@ func ExampleEngine_TopK() {
 	for i := 0; i < 3; i++ { // cluster B: 3 points
 		objs = append(objs, maxrs.Object{X: 100 + float64(i), Y: 0, Weight: 1})
 	}
-	ds, err := engine.Load(objs)
+	ds, err := engine.Load(context.Background(), objs)
 	if err != nil {
 		panic(err)
 	}

@@ -47,7 +47,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ds, err := engine.Load(objs)
+	ds, err := engine.Load(context.Background(), objs)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -44,7 +44,7 @@ func (e *Engine) TopK(ctx context.Context, d *Dataset, w, h float64, k int, opts
 	// Every round removes ≥ 1 object, so results never exceed d.Len();
 	// don't let an untrusted huge k size the allocation.
 	results := make([]Result, 0, min(k, d.Len()))
-	cur := d.file
+	cur := q.base.f
 	owned := false // whether cur is an intermediate we must release
 	defer func() {
 		if owned {
@@ -52,7 +52,21 @@ func (e *Engine) TopK(ctx context.Context, d *Dataset, w, h float64, k int, opts
 		}
 	}()
 	shards := q.shardsFor() // resolved once; every round solves alike
-	var prev QueryStats     // scope snapshot at the start of the round
+	if q.delta != nil {
+		// Pending mutations: every round solves the materialized
+		// effective set (and its filtrates), with the shard guard on its
+		// exact statistics — the rounds run bit-identically to a reload.
+		f, st, err := q.materializeEff(nil)
+		if err != nil {
+			return nil, err
+		}
+		cur, owned = f, true
+		shards = 0
+		if st.MinW >= 0 {
+			shards = q.requestedShards()
+		}
+	}
+	var prev QueryStats // scope snapshot at the start of the round
 	for round := 0; round < k; round++ {
 		if cur.Size() == 0 {
 			break
@@ -207,11 +221,14 @@ func (e *Engine) solveMapped(ctx context.Context, d *Dataset, w, h float64, opts
 		return Result{}, err
 	}
 	defer q.end(&err)
-	mapped, err := mapObjects(q.env(), d.file, f)
+	mapped, owned, err := q.effFile(f)
 	if err != nil {
 		return Result{}, err
 	}
 	defer func() {
+		if !owned {
+			return
+		}
 		if rerr := mapped.Release(); rerr != nil && err == nil {
 			err = rerr
 		}

@@ -33,7 +33,7 @@ func TestEngineFusionEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer e.Close()
-		d, err := e.Load(objs)
+		d, err := e.Load(context.Background(), objs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,7 +72,7 @@ func TestEnginePipelineInvariance(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer e.Close()
-		d, err := e.Load(objs)
+		d, err := e.Load(context.Background(), objs)
 		if err != nil {
 			t.Fatal(err)
 		}

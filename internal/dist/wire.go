@@ -37,10 +37,11 @@ import (
 
 // Wire paths and headers of the internal cluster protocol.
 const (
-	// PathSolve is the worker's shard-solve endpoint.
-	PathSolve = "/shard/solve"
+	// PathSolve is the worker's shard-solve endpoint (maxrsd serves the
+	// pre-/v1/ path as a deprecated alias for one release).
+	PathSolve = "/v1/shard/solve"
 	// PathReady is the readiness endpoint membership probes.
-	PathReady = "/readyz"
+	PathReady = "/v1/readyz"
 	// ChecksumHeader carries the lowercase-hex CRC32C of the message
 	// body. Replies always set it; receivers that find it verify before
 	// decoding, turning in-flight corruption into a typed transient

@@ -351,6 +351,25 @@ func NewRecordWriter[T any](f *File, c Codec[T]) (*RecordWriter[T], error) {
 	return &RecordWriter[T]{w: f.NewWriter(), codec: c, buf: make([]byte, c.Size())}, nil
 }
 
+// OpenRecordWriter returns a writer appending to f charging transfers to
+// env's scope and aborting at block-transfer granularity once env's
+// context is cancelled. It is the way to write a long-lived shared file (a
+// dataset being loaded or compacted) under a caller-bounded context
+// without stamping that context onto the file itself — readers opened on
+// the file later are unaffected. Files created through Env.NewFile carry
+// the scope and context already.
+func OpenRecordWriter[T any](env Env, f *File, c Codec[T]) (*RecordWriter[T], error) {
+	rw, err := NewRecordWriter(f, c)
+	if err != nil {
+		return nil, err
+	}
+	rw.w.scope = env.Scope
+	if env.Ctx != nil {
+		rw.w.ctx = env.Ctx
+	}
+	return rw, nil
+}
+
 // Write appends one record.
 func (rw *RecordWriter[T]) Write(v T) error {
 	rw.codec.Encode(rw.buf, v)

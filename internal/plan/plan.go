@@ -179,6 +179,12 @@ type Settings struct {
 	// candidate alike: the map pass of MinRS/CountRS (read + rewrite of
 	// the object file), the candidate scan of MaxCRS.
 	ExtraReads, ExtraWrites int64
+	// DeltaPending is the dataset's buffered mutation count. > 0 adds
+	// the informational combined base+delta row to the candidate table;
+	// the chooser never picks it (the combined path is taken adaptively
+	// at solve time when its soundness gates hold) and predictions stop
+	// being Exact (the delta's work is data-dependent).
+	DeltaPending int64
 }
 
 // Strategy is one executable point of the plan space.
@@ -209,7 +215,11 @@ type Candidate struct {
 	Cost     Cost
 	Eligible bool
 	Chosen   bool
-	Note     string
+	// Delta marks the informational combined base+delta row shown when
+	// the dataset has buffered mutations. It is never Chosen: the solve
+	// path decides per query whether the influence bound holds.
+	Delta bool
+	Note  string
 }
 
 // Choose enumerates the candidate table for the dataset and settings and
@@ -273,5 +283,13 @@ func Candidates(st Stats, set Settings) []Candidate {
 		add(Strategy{Algorithm: ExactMaxRS, Shards: k}, true, "")
 	}
 	add(Strategy{Algorithm: ExactMaxRS, Unfused: true}, true, "unfused ablation: pays the materialized sort passes")
+	if set.DeltaPending > 0 {
+		cands = append(cands, Candidate{
+			Strategy: Strategy{Algorithm: ExactMaxRS},
+			Delta:    true,
+			Eligible: false,
+			Note:     "combined base+delta path: taken adaptively when the influence bound holds",
+		})
+	}
 	return cands
 }

@@ -8,6 +8,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"maxrs/internal/plan"
 )
 
 // newLeakEngine returns a small-budget engine whose disk starts empty.
@@ -41,7 +43,7 @@ func TestLoadErrorLeaksNothing(t *testing.T) {
 		{X: 0, Y: math.Inf(-1), Weight: 1},
 		{X: 0, Y: 0, Weight: math.Inf(1)},
 	} {
-		if _, err := e.Load(append(append([]Object{}, objs...), bad)); err == nil {
+		if _, err := e.Load(context.Background(), append(append([]Object{}, objs...), bad)); err == nil {
 			t.Fatalf("Load(%+v) must fail", bad)
 		}
 		wantInUse(t, e, 0, "after failed Load")
@@ -62,7 +64,7 @@ func TestLoadCSVErrorLeaksNothing(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			_, err := e.LoadCSV(strings.NewReader(tc.csv))
+			_, err := e.LoadCSV(context.Background(), strings.NewReader(tc.csv))
 			if err == nil {
 				t.Fatal("LoadCSV must fail")
 			}
@@ -91,7 +93,7 @@ func corruptDataset(t *testing.T, e *Engine) *Dataset {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	return &Dataset{file: f, n: 200}
+	return e.newDataset(f, 200, plan.Stats{N: 200})
 }
 
 // TestQueryErrorLeaksNothing drives every query type and algorithm into a

@@ -2,6 +2,7 @@ package maxrs
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -24,16 +25,25 @@ const maxCSVLine = 1 << 20
 // "x,y[,weight]" (weight defaults to 1); blank lines and lines starting
 // with '#' are skipped. Coordinates and weights must be finite (NaN and
 // ±Inf are rejected with the offending line number, as are lines longer
-// than 1 MiB). On error the partially written file is released — no disk
-// blocks stay allocated.
-func (e *Engine) LoadCSV(r io.Reader) (_ *Dataset, err error) {
+// than 1 MiB). Cancelling ctx (or exceeding its deadline) aborts the
+// load at block-transfer granularity and returns an error matching both
+// ErrQueryCancelled and the context error. On every error path — partial
+// blocks included — nothing stays allocated.
+func (e *Engine) LoadCSV(ctx context.Context, r io.Reader) (_ *Dataset, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, wrapCancel(err)
+	}
 	f := em.NewFile(e.env.Disk)
 	defer func() {
 		if err != nil {
-			err = errors.Join(err, f.Release())
+			err = wrapCancel(errors.Join(err, f.Release()))
 		}
 	}()
-	w, err := em.NewRecordWriter(f, rec.ObjectCodec{})
+	// The context binds the writer, not the file (see Load).
+	w, err := em.OpenRecordWriter(e.env.WithContext(ctx), f, rec.ObjectCodec{})
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +79,15 @@ func (e *Engine) LoadCSV(r io.Reader) (_ *Dataset, err error) {
 	if err := w.Close(); err != nil {
 		return nil, err
 	}
-	return &Dataset{file: f, n: n, stats: col.Finalize(e.opts.BlockSize, e.opts.Memory)}, nil
+	return e.newDataset(f, n, col.Finalize(e.opts.BlockSize, e.opts.Memory)), nil
+}
+
+// LoadCSVReader is the pre-context form of LoadCSV.
+//
+// Deprecated: use LoadCSV(ctx, r). LoadCSVReader remains for one release
+// as a thin wrapper over LoadCSV with context.Background().
+func (e *Engine) LoadCSVReader(r io.Reader) (*Dataset, error) {
+	return e.LoadCSV(context.Background(), r)
 }
 
 func parseObjectLine(line string) (rec.Object, error) {

@@ -19,7 +19,7 @@ func TestLoadCSV(t *testing.T) {
 
 3,1,1
 `
-	d, err := e.LoadCSV(strings.NewReader(csv))
+	d, err := e.LoadCSV(context.Background(), strings.NewReader(csv))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestLoadCSVErrors(t *testing.T) {
 		"NaN,2",   // NaN coordinate
 	}
 	for _, c := range cases {
-		if _, err := e.LoadCSV(strings.NewReader(c)); err == nil {
+		if _, err := e.LoadCSV(context.Background(), strings.NewReader(c)); err == nil {
 			t.Fatalf("LoadCSV(%q) should fail", c)
 		}
 	}
@@ -76,7 +76,7 @@ func (e *errAfter) Read(p []byte) (int, error) {
 func TestLoadCSVTruncatedMidRecord(t *testing.T) {
 	e := newLeakEngine(t)
 	valid := strings.Repeat("1,2,3\n", 200)
-	_, err := e.LoadCSV(strings.NewReader(valid + "17,"))
+	_, err := e.LoadCSV(context.Background(), strings.NewReader(valid+"17,"))
 	if err == nil {
 		t.Fatal("LoadCSV on a mid-record truncation must fail")
 	}
@@ -93,7 +93,7 @@ func TestLoadCSVShortFinalLine(t *testing.T) {
 	e := newLeakEngine(t)
 	valid := strings.Repeat("1,2,3\n", 200)
 	for _, tail := range []string{"42\n", "42"} {
-		_, err := e.LoadCSV(strings.NewReader(valid + tail))
+		_, err := e.LoadCSV(context.Background(), strings.NewReader(valid+tail))
 		if err == nil {
 			t.Fatalf("LoadCSV with short final line %q must fail", tail)
 		}
@@ -111,7 +111,7 @@ func TestLoadCSVReaderErrorMidLoad(t *testing.T) {
 	e := newLeakEngine(t)
 	cause := errors.New("read: device went away")
 	valid := strings.Repeat("1,2,3\n", 200)
-	_, err := e.LoadCSV(&errAfter{r: strings.NewReader(valid), err: cause})
+	_, err := e.LoadCSV(context.Background(), &errAfter{r: strings.NewReader(valid), err: cause})
 	if err == nil {
 		t.Fatal("LoadCSV must surface the reader's error")
 	}
@@ -127,11 +127,11 @@ func TestLoadCSVMatchesLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	objs := []Object{{X: 1, Y: 2, Weight: 3}, {X: 4, Y: 5, Weight: 6}}
-	d1, err := e.LoadCSV(strings.NewReader("1,2,3\n4,5,6\n"))
+	d1, err := e.LoadCSV(context.Background(), strings.NewReader("1,2,3\n4,5,6\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	d2, err := e.Load(objs)
+	d2, err := e.Load(context.Background(), objs)
 	if err != nil {
 		t.Fatal(err)
 	}

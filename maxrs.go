@@ -323,6 +323,35 @@ type Options struct {
 	// bit-identical to the in-process sharded query, and the unsharded
 	// path (Shards 0) ignores Dist entirely.
 	Dist *DistOptions
+	// DeltaCompactAt bounds a mutable dataset's in-memory delta buffer
+	// (DESIGN.md §14): once the pending entries — buffered inserts plus
+	// deleted base records — reach the threshold, the next mutation first
+	// compacts the delta into a fresh base file (rewriting survivors and
+	// appending the buffered inserts) before buffering anything new, so
+	// a cancelled mutation never leaves a half-applied delta. 0 selects
+	// the default (1024 entries); a negative value disables automatic
+	// compaction entirely — Dataset.Compact still works, which is how
+	// maxrsd runs compaction on a background goroutine instead of a
+	// mutation's critical path.
+	DeltaCompactAt int
+}
+
+// defaultDeltaCompactAt is the Options.DeltaCompactAt default: small
+// enough that the delta sweep of the combined query path stays trivially
+// in-memory, large enough that compaction is rare under mixed workloads.
+const defaultDeltaCompactAt = 1024
+
+// deltaCompactAt resolves Options.DeltaCompactAt (0 = default, < 0 =
+// never).
+func (e *Engine) deltaCompactAt() int {
+	switch {
+	case e.opts.DeltaCompactAt == 0:
+		return defaultDeltaCompactAt
+	case e.opts.DeltaCompactAt < 0:
+		return math.MaxInt
+	default:
+		return e.opts.DeltaCompactAt
+	}
 }
 
 // PipelineMode selects the stream prefetch / write-behind behavior of an
@@ -501,32 +530,143 @@ func (e *Engine) Close() error {
 
 // Dataset is a point set stored on the engine's disk.
 //
-// A Dataset is reference-counted: every running query holds a reference,
-// and Release marks the dataset dead, deferring the actual freeing of its
-// disk blocks until the last in-flight query finishes. Queries started
-// after Release fail with ErrDatasetReleased.
+// A Dataset is mutable: Insert and Delete buffer changes in a bounded
+// in-memory delta that queries fold in exactly (DESIGN.md §14) — every
+// query answers as if the dataset had been reloaded from scratch with
+// the mutations applied. Once the delta passes Options.DeltaCompactAt
+// the next mutation compacts it into a fresh base file (Compact forces
+// it); compaction is generation-fenced, so queries in flight keep the
+// base they started on.
+//
+// A Dataset is reference-counted through its base file: every running
+// query holds a reference to the base generation it began on, and
+// Release marks the dataset dead, deferring the actual freeing of its
+// disk blocks until the last in-flight query finishes. Queries and
+// mutations started after Release fail with ErrDatasetReleased.
 type Dataset struct {
-	file *em.File
-	n    int
-	// stats are the load-time dataset statistics (internal/plan),
-	// collected in the loader's streaming pass: the planner's whole
+	eng *Engine
+
+	mu sync.Mutex
+	// base is the current base generation: the on-disk object file plus
+	// the per-generation reference count that keeps it alive for queries
+	// begun before a compaction swapped it out.
+	base *baseRef
+	// n is the base file's record count.
+	n int
+	// stats are the base file's statistics (internal/plan), collected in
+	// the loader's (or compactor's) streaming pass: the planner's whole
 	// picture of the data, and the home of the smallest weight — the
 	// shard merge's exactness argument needs nonnegative weights
 	// (DESIGN.md §9.3), so queries on a dataset with any negative weight
-	// silently fall back to the unsharded path.
+	// silently fall back to the unsharded path. Queries see these merged
+	// conservatively with the pending delta (effStatsLocked).
 	stats plan.Stats
-
-	mu       sync.Mutex
-	refs     int  // in-flight queries holding the dataset open
-	released bool // Release called; free blocks when refs drains to 0
+	// baseIDs maps base record index → object ID. nil (the common case:
+	// no deletions have ever been compacted) means record i has ID i.
+	// After a compaction that dropped records it is the sorted ID list
+	// of the survivors — ascending by construction, so membership is a
+	// binary search (delta.go).
+	baseIDs  []uint64
+	released bool // Release called
 	shards   int  // per-dataset shard-count override (0 = engine default)
+
+	// Pending delta (DESIGN.md §14). Snapshots are taken under mu;
+	// mutators additionally serialize on mutMu (below) so validation,
+	// the base-coordinate scan of Delete, and compaction never interleave.
+	inserts []pendingInsert       // append-only until compaction
+	insIdx  map[uint64]int        // pending-insert ID → inserts index (mutMu)
+	delBase map[uint64]rec.Object // deleted base records (copy-on-write)
+	delIns  map[uint64]struct{}   // deleted pending-insert IDs (copy-on-write)
+	nextID  uint64                // next ID to assign to an insert
+	seq     uint64                // mutation sequence number (one per Insert/Delete)
+	gen     uint64                // base generation (one per compaction)
+	ncomp   uint64                // compactions performed
+	// sol caches the base generation's exact unsharded solutions per
+	// query size — the incumbent the combined delta path merges against.
+	// Cleared on compaction (the base changed).
+	sol map[solKey]sweep.Result
+
+	// mutMu serializes mutators (Insert, Delete, Compact) against each
+	// other. Never held while queries run; queries only take mu.
+	mutMu sync.Mutex
+}
+
+// baseRef is one base generation of a Dataset: the object file and the
+// count of in-flight queries pinned to it. kill marks the generation
+// dead (compaction swapped it out, or the dataset was released); the
+// blocks are freed when the last reference drops.
+type baseRef struct {
+	mu   sync.Mutex
+	f    *em.File
+	refs int
+	dead bool
+}
+
+func (b *baseRef) acquire() {
+	b.mu.Lock()
+	b.refs++
+	b.mu.Unlock()
+}
+
+func (b *baseRef) release() error {
+	b.mu.Lock()
+	b.refs--
+	free := b.dead && b.refs == 0
+	b.mu.Unlock()
+	if free {
+		return b.f.Release()
+	}
+	return nil
+}
+
+func (b *baseRef) kill() error {
+	b.mu.Lock()
+	if b.dead {
+		b.mu.Unlock()
+		return nil
+	}
+	b.dead = true
+	free := b.refs == 0
+	b.mu.Unlock()
+	if free {
+		return b.f.Release()
+	}
+	return nil
+}
+
+// pendingInsert is one buffered insert: the assigned ID and the object.
+type pendingInsert struct {
+	id  uint64
+	obj rec.Object
+}
+
+// solKey keys the base-solution cache by query rectangle size.
+type solKey struct{ w, h float64 }
+
+// newDataset wraps a freshly written base file.
+func (e *Engine) newDataset(f *em.File, n int, st plan.Stats) *Dataset {
+	return &Dataset{
+		eng:     e,
+		base:    &baseRef{f: f},
+		n:       n,
+		stats:   st,
+		nextID:  uint64(n),
+		insIdx:  make(map[uint64]int),
+		delBase: make(map[uint64]rec.Object),
+		delIns:  make(map[uint64]struct{}),
+	}
 }
 
 // ErrDatasetReleased is returned by queries on a released Dataset.
 var ErrDatasetReleased = errors.New("maxrs: dataset released")
 
-// Len returns the number of objects in the dataset.
-func (d *Dataset) Len() int { return d.n }
+// Len returns the effective number of objects in the dataset: the base
+// records plus pending inserts, minus pending deletes.
+func (d *Dataset) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.n - len(d.delBase) + len(d.inserts) - len(d.delIns)
+}
 
 // SetShards overrides the engine's Options.Shards for queries on this
 // dataset: 0 restores the engine default, 1 forces the degenerate
@@ -550,8 +690,13 @@ func (d *Dataset) Shards() int {
 	return d.shards
 }
 
-// Blocks returns the number of disk blocks the dataset occupies.
-func (d *Dataset) Blocks() int { return d.file.Blocks() }
+// Blocks returns the number of disk blocks the dataset's base file
+// occupies (the pending delta lives in memory until compaction).
+func (d *Dataset) Blocks() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.base.f.Blocks()
+}
 
 // Release frees the dataset's disk blocks. Safe to call while queries are
 // running (they keep the blocks alive until they finish) and safe to call
@@ -563,50 +708,54 @@ func (d *Dataset) Release() error {
 		return nil
 	}
 	d.released = true
-	free := d.refs == 0
+	b := d.base
+	d.sol = nil
 	d.mu.Unlock()
-	if free {
-		return d.file.Release()
-	}
-	return nil
+	return b.kill()
 }
 
-// acquire registers an in-flight query on the dataset.
-func (d *Dataset) acquire() error {
+// acquireQuery pins one query to the dataset's current state: the base
+// generation (reference-counted so a concurrent compaction or Release
+// cannot free it mid-query), an immutable snapshot of the pending delta
+// (nil when there is none), and the effective statistics the planner and
+// the shard guard must see — the base statistics merged conservatively
+// with the delta.
+func (d *Dataset) acquireQuery() (*baseRef, *deltaSnap, plan.Stats, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.released {
-		return ErrDatasetReleased
+		return nil, nil, plan.Stats{}, ErrDatasetReleased
 	}
-	d.refs++
-	return nil
-}
-
-// release drops a query's reference, freeing the blocks if Release was
-// called while the query ran and this was the last reference.
-func (d *Dataset) release() error {
-	d.mu.Lock()
-	d.refs--
-	free := d.released && d.refs == 0
-	d.mu.Unlock()
-	if free {
-		return d.file.Release()
-	}
-	return nil
+	b := d.base
+	b.acquire()
+	snap := d.snapLocked()
+	return b, snap, d.effStatsLocked(snap), nil
 }
 
 // Load writes objects to the engine's disk and returns the Dataset.
 // Loading is charged to the engine's I/O statistics; call ResetStats
 // afterwards to measure a query in isolation. Coordinates and weights
-// must be finite. On error no disk blocks stay allocated.
-func (e *Engine) Load(objs []Object) (_ *Dataset, err error) {
+// must be finite. Cancelling ctx (or exceeding its deadline) aborts the
+// load at block-transfer granularity and returns an error matching both
+// ErrQueryCancelled and the context error. On every error path — partial
+// blocks included — nothing stays allocated.
+func (e *Engine) Load(ctx context.Context, objs []Object) (_ *Dataset, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, wrapCancel(err)
+	}
 	f := em.NewFile(e.env.Disk)
 	defer func() {
 		if err != nil {
-			err = errors.Join(err, f.Release())
+			err = wrapCancel(errors.Join(err, f.Release()))
 		}
 	}()
-	w, err := em.NewRecordWriter(f, rec.ObjectCodec{})
+	// The context binds the writer, not the file: a dataset must not
+	// carry its load context permanently (readers opened on it later
+	// would inherit the cancellation).
+	w, err := em.OpenRecordWriter(e.env.WithContext(ctx), f, rec.ObjectCodec{})
 	if err != nil {
 		return nil, err
 	}
@@ -623,7 +772,15 @@ func (e *Engine) Load(objs []Object) (_ *Dataset, err error) {
 	if err := w.Close(); err != nil {
 		return nil, err
 	}
-	return &Dataset{file: f, n: len(objs), stats: col.Finalize(e.opts.BlockSize, e.opts.Memory)}, nil
+	return e.newDataset(f, len(objs), col.Finalize(e.opts.BlockSize, e.opts.Memory)), nil
+}
+
+// LoadObjects is the pre-context form of Load.
+//
+// Deprecated: use Load(ctx, objs). LoadObjects remains for one release
+// as a thin wrapper over Load with context.Background().
+func (e *Engine) LoadObjects(objs []Object) (*Dataset, error) {
+	return e.Load(context.Background(), objs)
 }
 
 // checkObject rejects NaN and ±Inf coordinates/weights — infinities
@@ -705,6 +862,22 @@ type query struct {
 	solver *core.Solver
 	par    int // resolved parallelism (≥ 1) for the shard worker budget
 
+	// base pins the dataset's base generation for the query's duration;
+	// delta is the immutable snapshot of the pending mutations (nil when
+	// the dataset is clean — the overwhelmingly common case, whose
+	// execution and transfer schedule are bit-identical to pre-delta
+	// builds); effSt are the effective statistics both merged.
+	base  *baseRef
+	delta *deltaSnap
+	effSt plan.Stats
+
+	// deltaPath records how a delta-carrying solve answered ("combined":
+	// cached base solution survived the influence-bound check; "fused":
+	// full re-solve over the materialized effective set); deltaBaseCached
+	// whether the base incumbent came from the dataset's solution cache.
+	deltaPath       string
+	deltaBaseCached bool
+
 	// plan is the materialized execution decision (DESIGN.md §12):
 	// under AlgorithmAuto the planner's choice (already folded back into
 	// set, so execution downstream is byte-identical to an explicit
@@ -761,27 +934,29 @@ func (e *Engine) begin(ctx context.Context, d *Dataset, kind queryKind, w, h flo
 	if err := ctx.Err(); err != nil {
 		return nil, wrapCancel(err)
 	}
-	if err := d.acquire(); err != nil {
+	base, snap, effSt, err := d.acquireQuery()
+	if err != nil {
 		return nil, err
 	}
-	pl, fallback, _ := e.planQuery(d, kind, w, h, &set, false)
+	pl, fallback, _ := e.planQuery(d, effSt, snap.pending(), kind, w, h, &set, false)
 	solver, par, err := e.solverFor(set)
 	if err != nil {
-		return nil, errors.Join(err, d.release())
+		return nil, errors.Join(err, base.release())
 	}
 	pl.Parallelism = par
 	return &query{
 		e: e, ctx: ctx, d: d, set: set, sc: new(em.ScopeStats),
+		base: base, delta: snap, effSt: effSt,
 		solver: solver, par: par, plan: pl, fallback: fallback,
 	}, nil
 }
 
-// end is the deferred tail of every query: it drops the dataset
+// end is the deferred tail of every query: it drops the base-generation
 // reference, joins in a final-free failure (the query error, if any,
 // stays primary), and wraps cancellation-caused failures in
 // ErrQueryCancelled.
 func (q *query) end(err *error) {
-	if rerr := q.d.release(); rerr != nil {
+	if rerr := q.base.release(); rerr != nil {
 		*err = errors.Join(*err, rerr)
 	}
 	*err = wrapCancel(*err)
@@ -810,6 +985,15 @@ func (q *query) result(res sweep.Result, shards []ShardStat, alg Algorithm) Resu
 // a Result (TopK calls it per round; result covers the single-result
 // queries).
 func (q *query) annotate(out *Result) {
+	if q.delta != nil {
+		q.plan.Delta = &DeltaPlan{
+			Pending:    int(q.delta.pending()),
+			Inserts:    q.delta.liveInserts(),
+			Deletes:    len(q.delta.delBase) + len(q.delta.delIns),
+			Path:       q.deltaPath,
+			BaseCached: q.deltaBaseCached,
+		}
+	}
 	out.Plan = q.plan
 	out.PredictedCost = q.plan.Predicted
 	out.FallbackReason = q.fallback
@@ -862,15 +1046,19 @@ func (q *query) maxRS(w, h float64) (sweep.Result, []ShardStat, Algorithm, error
 	)
 	switch q.set.algorithm {
 	case ExactMaxRS:
-		r, shards, err := q.solveObjects(q.d.file, w, h, q.shardsFor())
+		if q.delta != nil {
+			r, shards, err := q.solveDelta(w, h)
+			return r, shards, ExactMaxRS, err
+		}
+		r, shards, err := q.solveObjects(q.base.f, w, h, q.shardsFor())
 		return r, shards, ExactMaxRS, err
 	case NaiveSweep:
-		res, err = baseline.NaiveSweep(q.env(), q.d.file, w, h)
+		res, err = q.solveBaseline(baseline.NaiveSweep, w, h)
 	case ASBTree:
-		res, err = baseline.ASBTreeSweep(q.env(), q.d.file, w, h)
+		res, err = q.solveBaseline(baseline.ASBTreeSweep, w, h)
 	case InMemory:
 		var objs []geom.Object
-		objs, err = readObjects(q.env(), q.d)
+		objs, err = q.readEffObjects()
 		if err == nil {
 			res = sweep.MaxRS(objs, w, h)
 		}
@@ -881,14 +1069,33 @@ func (q *query) maxRS(w, h float64) (sweep.Result, []ShardStat, Algorithm, error
 	return res, nil, q.set.algorithm, err
 }
 
+// solveBaseline runs one of the externalized baseline sweeps over the
+// query's effective object file (the base file directly when the dataset
+// is clean).
+func (q *query) solveBaseline(fn func(em.Env, *em.File, float64, float64) (sweep.Result, error), w, h float64) (sweep.Result, error) {
+	f, owned, err := q.effFile(nil)
+	if err != nil {
+		return sweep.Result{}, err
+	}
+	res, err := fn(q.env(), f, w, h)
+	if owned {
+		if rerr := f.Release(); rerr != nil && err == nil {
+			err = rerr
+		}
+	}
+	return res, err
+}
+
 // shardsFor resolves the shard count for this query: WithShards when
 // given, else the dataset's override, else the engine's Options.Shards.
 // Datasets holding any negative weight always resolve to 0 (unsharded): a
 // shard's unrestricted optimum can land outside its slab, where missing
 // negative-weight objects beyond the halo would inflate its local score
 // — the merge is only exact for nonnegative weights (DESIGN.md §9.3).
+// The guard reads the effective statistics, so a buffered insert with a
+// negative weight disables sharding exactly like a loaded one.
 func (q *query) shardsFor() int {
-	if q.d.stats.MinW < 0 {
+	if q.effSt.MinW < 0 {
 		return 0
 	}
 	return q.requestedShards()
@@ -980,14 +1187,29 @@ func checkQuery(w, h float64) error {
 	return nil
 }
 
-func readObjects(env em.Env, d *Dataset) ([]geom.Object, error) {
-	recs, err := em.ReadAllEnv(env, d.file, rec.ObjectCodec{})
+// readEffObjects loads the query's effective object set into memory, in
+// exactly the order a reload of the mutated set would store it: the base
+// records minus pending deletes, then the live pending inserts in ID
+// order. For a clean dataset it is a plain scan of the base file.
+func (q *query) readEffObjects() ([]geom.Object, error) {
+	if q.delta == nil {
+		recs, err := em.ReadAllEnv(q.env(), q.base.f, rec.ObjectCodec{})
+		if err != nil {
+			return nil, err
+		}
+		objs := make([]geom.Object, len(recs))
+		for i, r := range recs {
+			objs[i] = r.Geom()
+		}
+		return objs, nil
+	}
+	var objs []geom.Object
+	err := q.scanEff(func(o rec.Object) error {
+		objs = append(objs, o.Geom())
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	objs := make([]geom.Object, len(recs))
-	for i, r := range recs {
-		objs[i] = r.Geom()
 	}
 	return objs, nil
 }
@@ -1015,7 +1237,7 @@ func MaxRS(ctx context.Context, objs []Object, w, h float64, opts *Options, qopt
 		return Result{}, err
 	}
 	defer closeEngine(e, &err)
-	d, err := e.Load(objs)
+	d, err := e.Load(ctx, objs)
 	if err != nil {
 		return Result{}, err
 	}

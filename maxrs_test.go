@@ -55,7 +55,7 @@ func TestEngineStatsAndReuse(t *testing.T) {
 	for i := range objs {
 		objs[i] = Object{X: math.Floor(rng.Float64() * 8000), Y: math.Floor(rng.Float64() * 8000), Weight: 1}
 	}
-	d, err := e.Load(objs)
+	d, err := e.Load(context.Background(), objs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestAlgorithmsAgree(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		d, err := e.Load(objs)
+		d, err := e.Load(context.Background(), objs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -172,7 +172,7 @@ func TestTopK(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := e.Load(objs)
+	d, err := e.Load(context.Background(), objs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +212,7 @@ func TestMinRS(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		objs = append(objs, Object{X: float64(i * 3), Y: 0, Weight: 2})
 	}
-	d, err := e.Load(objs)
+	d, err := e.Load(context.Background(), objs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +239,7 @@ func TestCountRS(t *testing.T) {
 		{X: 51, Y: 50, Weight: 1},
 		{X: 50, Y: 51, Weight: 1},
 	}
-	d, err := e.Load(objs)
+	d, err := e.Load(context.Background(), objs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +285,7 @@ func TestOnDiskEngine(t *testing.T) {
 	for i := range objs {
 		objs[i] = Object{X: math.Floor(rng.Float64() * 6000), Y: math.Floor(rng.Float64() * 6000), Weight: 1}
 	}
-	d, err := e.Load(objs)
+	d, err := e.Load(context.Background(), objs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +298,7 @@ func TestOnDiskEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d2, err := e2.Load(objs)
+	d2, err := e2.Load(context.Background(), objs)
 	if err != nil {
 		t.Fatal(err)
 	}

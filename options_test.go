@@ -148,7 +148,7 @@ func TestResultEffectiveFields(t *testing.T) {
 		neg[i] = Object{X: float64(i % 40), Y: float64(i / 40), Weight: 1}
 	}
 	neg[17].Weight = -2
-	dNeg, err := e.Load(neg)
+	dNeg, err := e.Load(context.Background(), neg)
 	if err != nil {
 		t.Fatal(err)
 	}

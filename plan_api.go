@@ -1,6 +1,7 @@
 package maxrs
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -34,14 +35,22 @@ type DatasetStats struct {
 	Resident bool
 }
 
-// Stats returns the dataset's load-time statistics.
+// Stats returns the dataset's effective statistics: the base file's
+// load-time statistics merged with the pending delta (inserts folded in
+// exactly; deletes decrement the count and weight sum but conservatively
+// never shrink the extent or weight range — see DESIGN.md §14.2). For a
+// dataset with no pending mutations they are exactly the load-time
+// statistics.
 func (d *Dataset) Stats() DatasetStats {
+	d.mu.Lock()
+	st := d.effStatsLocked(d.snapLocked())
+	d.mu.Unlock()
 	return DatasetStats{
-		N: d.stats.N, Bytes: d.stats.Bytes, Blocks: d.stats.Blocks,
-		MinX: d.stats.MinX, MaxX: d.stats.MaxX,
-		MinY: d.stats.MinY, MaxY: d.stats.MaxY,
-		MinW: d.stats.MinW, MaxW: d.stats.MaxW, MeanW: d.stats.MeanW(),
-		Resident: d.stats.Resident,
+		N: st.N, Bytes: st.Bytes, Blocks: st.Blocks,
+		MinX: st.MinX, MaxX: st.MaxX,
+		MinY: st.MinY, MaxY: st.MaxY,
+		MinW: st.MinW, MaxW: st.MaxW, MeanW: st.MeanW(),
+		Resident: st.Resident,
 	}
 }
 
@@ -69,6 +78,31 @@ type Plan struct {
 	Parallelism int // resolved worker budget (≥ 1); never affects transfer counts
 	Auto        bool
 	Predicted   PredictedCost
+	// Delta reports the base+delta composition of a query that ran on a
+	// dataset with pending mutations (DESIGN.md §14); nil on a clean
+	// dataset — the immutable fast path, whose execution is untouched.
+	Delta *DeltaPlan
+}
+
+// DeltaPlan is the delta-maintenance composition of one query's answer.
+type DeltaPlan struct {
+	// Pending is the buffered delta size the query saw (inserts +
+	// deleted base records); Inserts/Deletes break it into live buffered
+	// inserts and pending deletions (of base records and of buffered
+	// inserts).
+	Pending int
+	Inserts int
+	Deletes int
+	// Path is how the solve answered: "combined" (the cached base
+	// solution survived the influence-bound gates and is the exact
+	// answer) or "fused" (full re-solve of the materialized effective
+	// set). Empty in an Explanation — the path is chosen adaptively at
+	// solve time.
+	Path string
+	// BaseCached reports that the combined path's base incumbent came
+	// from the dataset's per-generation solution cache rather than a
+	// fresh base solve.
+	BaseCached bool
 }
 
 // PlanCandidate is one row of the planner's candidate table: a strategy,
@@ -79,6 +113,11 @@ type PlanCandidate struct {
 	Algorithm Algorithm
 	Shards    int
 	Unfused   bool
+	// Delta marks the informational combined base+delta row shown when
+	// the dataset has pending mutations; it is never chosen by the
+	// planner (the path is taken adaptively at solve time when its
+	// soundness gates hold — DESIGN.md §14.3).
+	Delta     bool
 	Predicted PredictedCost
 	Eligible  bool
 	Chosen    bool
@@ -97,13 +136,19 @@ type Explanation struct {
 }
 
 // Explain plans a MaxRS query without executing it: no disk transfers,
-// no worker time — just the planner over the dataset's load-time
+// no worker time — just the planner over the dataset's effective
 // statistics. With AlgorithmAuto (via WithAlgorithm or the engine
 // default) the returned plan is the planner's choice and the candidate
 // table marks the chosen row; with an explicit algorithm the plan
 // reflects the resolved settings and the table shows what the planner
-// would have considered.
-func (e *Engine) Explain(d *Dataset, w, h float64, opts ...QueryOption) (Explanation, error) {
+// would have considered. Explain holds a dataset reference for its
+// duration — it matches begin, so it never races a concurrent Release —
+// and checks ctx before planning (there is no I/O to interrupt after
+// that).
+func (e *Engine) Explain(ctx context.Context, d *Dataset, w, h float64, opts ...QueryOption) (Explanation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := checkQuery(w, h); err != nil {
 		return Explanation{}, err
 	}
@@ -111,22 +156,33 @@ func (e *Engine) Explain(d *Dataset, w, h float64, opts ...QueryOption) (Explana
 	if err != nil {
 		return Explanation{}, err
 	}
-	if err := d.acquire(); err != nil {
+	if err := ctx.Err(); err != nil {
+		return Explanation{}, wrapCancel(err)
+	}
+	base, snap, effSt, err := d.acquireQuery()
+	if err != nil {
 		return Explanation{}, err
 	}
-	defer func() { _ = d.release() }()
-	pl, fallback, cands := e.planQuery(d, kindMaxRS, w, h, &set, true)
+	defer func() { _ = base.release() }()
+	pl, fallback, cands := e.planQuery(d, effSt, snap.pending(), kindMaxRS, w, h, &set, true)
 	out := Explanation{
 		Plan:           pl,
 		FallbackReason: fallback,
-		Stats:          d.Stats(),
-		Candidates:     make([]PlanCandidate, len(cands)),
+		Stats: DatasetStats{
+			N: effSt.N, Bytes: effSt.Bytes, Blocks: effSt.Blocks,
+			MinX: effSt.MinX, MaxX: effSt.MaxX,
+			MinY: effSt.MinY, MaxY: effSt.MaxY,
+			MinW: effSt.MinW, MaxW: effSt.MaxW, MeanW: effSt.MeanW(),
+			Resident: effSt.Resident,
+		},
+		Candidates: make([]PlanCandidate, len(cands)),
 	}
 	for i, c := range cands {
 		out.Candidates[i] = PlanCandidate{
 			Algorithm: Algorithm(c.Algorithm),
 			Shards:    c.Shards,
 			Unfused:   c.Unfused,
+			Delta:     c.Delta,
 			Predicted: PredictedCost{Reads: c.Cost.Reads, Writes: c.Cost.Writes, Exact: c.Cost.Exact},
 			Eligible:  c.Eligible,
 			Chosen:    c.Chosen,
@@ -134,6 +190,14 @@ func (e *Engine) Explain(d *Dataset, w, h float64, opts ...QueryOption) (Explana
 		}
 	}
 	return out, nil
+}
+
+// ExplainQuery is the pre-context form of Explain.
+//
+// Deprecated: use Explain(ctx, d, w, h, opts...). ExplainQuery remains
+// for one release as a thin wrapper with context.Background().
+func (e *Engine) ExplainQuery(d *Dataset, w, h float64, opts ...QueryOption) (Explanation, error) {
+	return e.Explain(context.Background(), d, w, h, opts...)
 }
 
 // queryKind names the five query shapes the plan layer distinguishes:
@@ -154,8 +218,7 @@ const (
 // actually runs: MinRS negates every weight, CountRS maps them all to 1
 // — which is exactly why CountRS shards on datasets whose own weights
 // would force MaxRS to fall back.
-func planStatsFor(d *Dataset, kind queryKind) plan.Stats {
-	st := d.stats
+func planStatsFor(st plan.Stats, kind queryKind) plan.Stats {
 	switch kind {
 	case kindMinRS:
 		st.MinW, st.MaxW = -st.MaxW, -st.MinW
@@ -171,17 +234,17 @@ func planStatsFor(d *Dataset, kind queryKind) plan.Stats {
 // the engine's EM geometry, the query rectangle, the kind's strategy
 // restrictions, and its extra passes (charged to every candidate alike,
 // so they never change the ranking — only the absolute prediction).
-func (e *Engine) planSettingsFor(d *Dataset, kind queryKind, w, h float64) plan.Settings {
+func (e *Engine) planSettingsFor(st plan.Stats, kind queryKind, w, h float64) plan.Settings {
 	set := plan.Settings{B: e.opts.BlockSize, M: e.opts.Memory, Fanout: e.opts.Fanout, W: w, H: h}
 	switch kind {
 	case kindMinRS:
 		// The weight-negation map pass: read the object file, write the
 		// mapped copy. Negated weights also rule sharding out.
 		set.SolverOnly, set.NoShards = true, true
-		set.ExtraReads, set.ExtraWrites = d.stats.Blocks, d.stats.Blocks
+		set.ExtraReads, set.ExtraWrites = st.Blocks, st.Blocks
 	case kindCountRS:
 		set.SolverOnly = true
-		set.ExtraReads, set.ExtraWrites = d.stats.Blocks, d.stats.Blocks
+		set.ExtraReads, set.ExtraWrites = st.Blocks, st.Blocks
 	case kindTopK:
 		// The prediction covers one round's solve over the full dataset;
 		// later rounds solve shrinking filtrates and cost less.
@@ -191,7 +254,7 @@ func (e *Engine) planSettingsFor(d *Dataset, kind queryKind, w, h float64) plan.
 		// construction and stays unsharded; the candidate scan streams
 		// the object file once more.
 		set.SolverOnly, set.NoShards = true, true
-		set.ExtraReads = d.stats.Blocks
+		set.ExtraReads = st.Blocks
 	}
 	return set
 }
@@ -202,9 +265,10 @@ func (e *Engine) planSettingsFor(d *Dataset, kind queryKind, w, h float64) plan.
 // settings); otherwise set passes through untouched and only the
 // prediction is computed. The candidate table is built when wantCands
 // (Explain); begin skips it.
-func (e *Engine) planQuery(d *Dataset, kind queryKind, w, h float64, set *querySettings, wantCands bool) (Plan, string, []plan.Candidate) {
-	pst := planStatsFor(d, kind)
-	pset := e.planSettingsFor(d, kind, w, h)
+func (e *Engine) planQuery(d *Dataset, st plan.Stats, pending int64, kind queryKind, w, h float64, set *querySettings, wantCands bool) (Plan, string, []plan.Candidate) {
+	pst := planStatsFor(st, kind)
+	pset := e.planSettingsFor(st, kind, w, h)
+	pset.DeltaPending = pending
 	auto := set.algorithm == AlgorithmAuto
 	var cands []plan.Candidate
 	if auto {
@@ -216,10 +280,19 @@ func (e *Engine) planQuery(d *Dataset, kind queryKind, w, h float64, set *queryS
 	} else if wantCands {
 		cands = plan.Candidates(pst, pset)
 	}
-	eff := e.effectiveStrategy(d, kind, *set)
+	eff := e.effectiveStrategy(d, kind, *set, st)
 	cost := plan.Estimate(pst, pset, eff)
+	if pending > 0 {
+		// A pending delta adds data-dependent work (the base incumbent,
+		// the influence sweep or the fused materialization) the model
+		// does not schedule exactly.
+		cost.Exact = false
+	}
 	if !auto {
 		for i := range cands {
+			if cands[i].Delta {
+				continue // informational row, never the executed strategy
+			}
 			if cands[i].Strategy == eff {
 				cands[i].Chosen = true
 				break
@@ -241,14 +314,15 @@ func (e *Engine) planQuery(d *Dataset, kind queryKind, w, h float64, set *queryS
 	if !wantCands {
 		cands = nil
 	}
-	return pl, e.fallbackReason(d, kind, *set), cands
+	return pl, e.fallbackReason(d, kind, *set, st), cands
 }
 
 // effectiveStrategy applies the kind's execution rules to the resolved
 // settings, yielding the strategy that will actually run — the one the
 // prediction must be for. It mirrors the dispatch in maxRS/TopK/
-// solveMapped/MaxCRS exactly.
-func (e *Engine) effectiveStrategy(d *Dataset, kind queryKind, set querySettings) plan.Strategy {
+// solveMapped/MaxCRS exactly. st are the effective statistics the
+// query's shard guard reads.
+func (e *Engine) effectiveStrategy(d *Dataset, kind queryKind, set querySettings, st plan.Stats) plan.Strategy {
 	alg := set.algorithm
 	if kind != kindMaxRS {
 		alg = ExactMaxRS // TopK, MinRS, CountRS and MaxCRS only ever solve with ExactMaxRS
@@ -256,7 +330,7 @@ func (e *Engine) effectiveStrategy(d *Dataset, kind queryKind, set querySettings
 	k := 0
 	switch kind {
 	case kindMaxRS, kindTopK:
-		if alg == ExactMaxRS && d.stats.MinW >= 0 {
+		if alg == ExactMaxRS && st.MinW >= 0 {
 			k = e.requestedShardsFor(d, set)
 		}
 	case kindCountRS:
@@ -279,7 +353,7 @@ func (e *Engine) requestedShardsFor(d *Dataset, set querySettings) int {
 
 // fallbackReason explains — in Result.FallbackReason — why a query that
 // requested sharding ran unsharded. Empty when nothing was overridden.
-func (e *Engine) fallbackReason(d *Dataset, kind queryKind, set querySettings) string {
+func (e *Engine) fallbackReason(d *Dataset, kind queryKind, set querySettings, st plan.Stats) string {
 	if e.requestedShardsFor(d, set) <= 0 {
 		return ""
 	}
@@ -294,7 +368,7 @@ func (e *Engine) fallbackReason(d *Dataset, kind queryKind, set querySettings) s
 	if set.algorithm != ExactMaxRS {
 		return fmt.Sprintf("algorithm %v ignores sharding: only ExactMaxRS shards", set.algorithm)
 	}
-	if d.stats.MinW < 0 {
+	if st.MinW < 0 {
 		return "dataset holds negative weights: the shard merge is only exact for nonnegative weights (DESIGN.md §9.3); ran unsharded"
 	}
 	return ""

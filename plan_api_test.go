@@ -19,7 +19,7 @@ func planTestEngine(t *testing.T, opts *maxrs.Options) (*maxrs.Engine, *maxrs.Da
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { eng.Close() })
-	d, err := eng.Load([]maxrs.Object{
+	d, err := eng.Load(context.Background(), []maxrs.Object{
 		{X: 1, Y: 1, Weight: 1}, {X: 2, Y: 2, Weight: 5},
 		{X: 3, Y: 1, Weight: 1}, {X: 90, Y: 90, Weight: 2},
 	})
@@ -47,7 +47,7 @@ func TestDatasetStats(t *testing.T) {
 func TestExplainDoesNoIO(t *testing.T) {
 	eng, d := planTestEngine(t, nil)
 	eng.ResetStats()
-	ex, err := eng.Explain(d, 4, 4)
+	ex, err := eng.Explain(context.Background(), d, 4, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,10 +79,10 @@ func TestExplainReleasedDataset(t *testing.T) {
 	if err := d.Release(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Explain(d, 4, 4); !errors.Is(err, maxrs.ErrDatasetReleased) {
+	if _, err := eng.Explain(context.Background(), d, 4, 4); !errors.Is(err, maxrs.ErrDatasetReleased) {
 		t.Fatalf("err = %v, want ErrDatasetReleased", err)
 	}
-	if _, err := eng.Explain(d, 0, 4); !errors.Is(err, maxrs.ErrInvalidQuery) {
+	if _, err := eng.Explain(context.Background(), d, 0, 4); !errors.Is(err, maxrs.ErrInvalidQuery) {
 		t.Fatalf("err = %v, want ErrInvalidQuery before acquire", err)
 	}
 }
@@ -147,11 +147,11 @@ func TestFallbackReasons(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { eng.Close() })
-	pos, err := eng.Load([]maxrs.Object{{X: 1, Y: 1, Weight: 1}, {X: 2, Y: 2, Weight: 5}, {X: 3, Y: 1, Weight: 1}})
+	pos, err := eng.Load(context.Background(), []maxrs.Object{{X: 1, Y: 1, Weight: 1}, {X: 2, Y: 2, Weight: 5}, {X: 3, Y: 1, Weight: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	neg, err := eng.Load([]maxrs.Object{{X: 1, Y: 1, Weight: 2}, {X: 2, Y: 2, Weight: -1}, {X: 3, Y: 1, Weight: 4}})
+	neg, err := eng.Load(context.Background(), []maxrs.Object{{X: 1, Y: 1, Weight: 2}, {X: 2, Y: 2, Weight: -1}, {X: 3, Y: 1, Weight: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +210,7 @@ func TestAutoOnResident(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { auto.Close() })
-	d2, err := auto.Load([]maxrs.Object{{X: 1, Y: 1, Weight: 1}, {X: 2, Y: 2, Weight: 5}})
+	d2, err := auto.Load(context.Background(), []maxrs.Object{{X: 1, Y: 1, Weight: 1}, {X: 2, Y: 2, Weight: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -81,7 +81,7 @@ func TestCalibrationMatrix(t *testing.T) {
 		wl := wl
 		t.Run(wl.name, func(t *testing.T) {
 			eng := calibEngine(t)
-			d, err := eng.Load(wl.objs)
+			d, err := eng.Load(context.Background(), wl.objs)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -135,11 +135,11 @@ func TestAutoNeverFarFromBest(t *testing.T) {
 		wl := wl
 		t.Run(wl.name, func(t *testing.T) {
 			eng := calibEngine(t)
-			d, err := eng.Load(wl.objs)
+			d, err := eng.Load(context.Background(), wl.objs)
 			if err != nil {
 				t.Fatal(err)
 			}
-			ex, err := eng.Explain(d, wl.q, wl.q, maxrs.WithAlgorithm(maxrs.AlgorithmAuto))
+			ex, err := eng.Explain(context.Background(), d, wl.q, wl.q, maxrs.WithAlgorithm(maxrs.AlgorithmAuto))
 			if err != nil {
 				t.Fatal(err)
 			}

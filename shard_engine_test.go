@@ -258,7 +258,7 @@ func TestNegativeWeightsFallBackUnsharded(t *testing.T) {
 		Object{X: 502.5, Y: 50, Weight: -100},
 	)
 	ref := newShardTestEngine(t, Options{})
-	dRef, err := ref.Load(objs)
+	dRef, err := ref.Load(context.Background(), objs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +267,7 @@ func TestNegativeWeightsFallBackUnsharded(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := newShardTestEngine(t, Options{Shards: 2})
-	d, err := e.Load(objs)
+	d, err := e.Load(context.Background(), objs)
 	if err != nil {
 		t.Fatal(err)
 	}
