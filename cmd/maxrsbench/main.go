@@ -70,7 +70,7 @@ func parseLevels(s string) ([]int, error) {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "comma-separated: table2,table3,fig12,fig13,fig14,fig15,fig16,fig17,all,load,fusion,shard,fault,plan,dist,incr (load, fusion, shard, fault, plan, dist and incr are never part of all)")
+		exp        = flag.String("exp", "all", "comma-separated: table2,table3,fig12,fig13,fig14,fig15,fig16,fig17,all,load,fusion,shard,fault,plan,dist,incr,codec (load, fusion, shard, fault, plan, dist, incr and codec are never part of all)")
 		scale      = flag.Float64("scale", 1.0, "cardinality scale factor (1 = paper scale)")
 		bufscale   = flag.Float64("bufscale", 0, "buffer scale factor (default: same as -scale)")
 		seed       = flag.Int64("seed", 2012, "data generation seed")
@@ -100,7 +100,7 @@ func main() {
 
 	registered := []string{
 		"all", "table2", "table3", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-		"load", "fusion", "shard", "fault", "plan", "dist", "incr",
+		"load", "fusion", "shard", "fault", "plan", "dist", "incr", "codec",
 	}
 	known := map[string]bool{}
 	for _, name := range registered {
@@ -297,6 +297,33 @@ func main() {
 			Series:    series,
 		})
 		delete(want, "incr")
+		if len(want) == 0 {
+			finish()
+			return
+		}
+		fmt.Println()
+	}
+	if want["codec"] {
+		n, mem := scaledWorkload()
+		start := time.Now()
+		series, err := runCodec(codecBenchConfig{
+			objects: n,
+			iters:   3,
+			seed:    *seed,
+			memory:  mem,
+			par:     *parallel,
+			out:     os.Stdout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "codec: %v\n", err)
+			os.Exit(1)
+		}
+		summary.Experiments = append(summary.Experiments, jsonExperiment{
+			Name:      "codec",
+			ElapsedMS: time.Since(start).Milliseconds(),
+			Series:    series,
+		})
+		delete(want, "codec")
 		if len(want) == 0 {
 			finish()
 			return

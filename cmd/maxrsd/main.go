@@ -109,6 +109,8 @@ func main() {
 		shards       = flag.Int("shards", 0, "default shard count for object queries (0 = unsharded; PUT ?shards=K overrides per dataset)")
 		onDisk       = flag.Bool("ondisk", false, "back blocks with a temp file instead of process memory")
 		onDiskDir    = flag.String("ondiskdir", "", "directory for the -ondisk backing file (default: system temp)")
+		backendName  = flag.String("backend", "auto", "physical storage under -ondisk: auto, file, or mmap (mmap falls back to file when mapping is unavailable; counted transfers identical)")
+		codecName    = flag.String("codec", "none", "physical block codec: none or delta (per-block column-split delta/varint compression; counted transfers identical, physical bytes shrink)")
 		dataDir      = flag.String("datadir", "", "directory PUT /datasets/{name}?path= may read CSV files from (empty disables server-local loads)")
 		drain        = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline: in-flight queries get this long to finish before they are cancelled")
 		timeout      = flag.Duration("timeout", 0, "per-query deadline ceiling (0 = none; ?timeout= may tighten but not exceed it)")
@@ -143,6 +145,28 @@ func main() {
 	}
 	if *join != "" && *advertise == "" {
 		fmt.Fprintln(os.Stderr, "maxrsd: -join requires -advertise (the URL the coordinator dials this worker at)")
+		os.Exit(1)
+	}
+	var backend maxrs.BackendKind
+	switch *backendName {
+	case "auto":
+		backend = maxrs.BackendAuto
+	case "file":
+		backend = maxrs.BackendFile
+	case "mmap":
+		backend = maxrs.BackendMmap
+	default:
+		fmt.Fprintf(os.Stderr, "maxrsd: -backend must be auto, file or mmap, got %q\n", *backendName)
+		os.Exit(1)
+	}
+	var blockCodec maxrs.CodecKind
+	switch *codecName {
+	case "none":
+		blockCodec = maxrs.CodecNone
+	case "delta":
+		blockCodec = maxrs.CodecDelta
+	default:
+		fmt.Fprintf(os.Stderr, "maxrsd: -codec must be none or delta, got %q\n", *codecName)
 		os.Exit(1)
 	}
 	// -peers / -coordinator turn this instance into a coordinator:
@@ -186,6 +210,8 @@ func main() {
 		Parallelism: *parallel,
 		OnDisk:      *onDisk,
 		OnDiskDir:   *onDiskDir,
+		Backend:     backend,
+		Codec:       blockCodec,
 		Shards:      *shards,
 		Checksums:   *checksums,
 		Retry: maxrs.RetryPolicy{

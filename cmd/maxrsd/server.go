@@ -364,6 +364,56 @@ type statsResponse struct {
 	WorkersReady int `json:"workers_ready,omitempty"`
 	// NetCalls counts worker calls made by distributed queries.
 	NetCalls uint64 `json:"net_calls,omitempty"`
+	// Pipeline counts the transfers that rode the background prefetch /
+	// write-behind path — a subset of reads/writes, never extra.
+	Pipeline pipelineStatsJSON `json:"pipeline"`
+	// Faults holds the engine's fault-handling counters: retries and
+	// checksum verification failures on block transfers.
+	Faults faultStatsJSON `json:"faults"`
+	// Storage describes the physical layer below the transfer counters:
+	// the backend and codec in use plus the physical bytes moved.
+	Storage storageStatsJSON `json:"storage"`
+}
+
+// pipelineStatsJSON is the prefetch/write-behind coverage block.
+type pipelineStatsJSON struct {
+	Reads  uint64 `json:"reads"`
+	Writes uint64 `json:"writes"`
+}
+
+// faultStatsJSON is the fault/retry counter block of /stats.
+type faultStatsJSON struct {
+	ReadRetries      uint64 `json:"read_retries"`
+	WriteRetries     uint64 `json:"write_retries"`
+	ChecksumFailures uint64 `json:"checksum_failures"`
+}
+
+// storageStatsJSON is the physical-storage block shared by /stats and
+// the GET /datasets listing: which backend/codec serve blocks and the
+// physical bytes they moved (measured exactly under a slot store,
+// derived as transfers × block size otherwise).
+type storageStatsJSON struct {
+	Backend          string `json:"backend"`
+	Codec            string `json:"codec"`
+	PhysReadBytes    uint64 `json:"phys_read_bytes"`
+	PhysWriteBytes   uint64 `json:"phys_write_bytes"`
+	BlocksCompressed uint64 `json:"blocks_compressed"`
+	BlocksRaw        uint64 `json:"blocks_raw"`
+	Measured         bool   `json:"measured"`
+}
+
+func (s *server) storageStats() storageStatsJSON {
+	info := s.eng.StorageInfo()
+	p := s.eng.PhysIO()
+	return storageStatsJSON{
+		Backend:          info.Backend,
+		Codec:            info.Codec,
+		PhysReadBytes:    p.ReadBytes,
+		PhysWriteBytes:   p.WriteBytes,
+		BlocksCompressed: p.BlocksCompressed,
+		BlocksRaw:        p.BlocksRaw,
+		Measured:         p.Measured,
+	}
 }
 
 // cacheStatsJSON is the cache counter block shared by /stats consumers
@@ -393,6 +443,14 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		CacheReuseHits: cs.ReuseHits, CacheEntries: cs.Entries,
 		DeltaHits: s.deltaHits.Load(),
 		NetCalls:  s.eng.NetFaultStats().Calls,
+		Storage:   s.storageStats(),
+	}
+	out.Pipeline.Reads, out.Pipeline.Writes = s.eng.PipelineStats()
+	fs := s.eng.FaultStats()
+	out.Faults = faultStatsJSON{
+		ReadRetries:      fs.ReadRetries,
+		WriteRetries:     fs.WriteRetries,
+		ChecksumFailures: fs.ChecksumFailures,
 	}
 	for _, wk := range s.eng.Workers() {
 		out.Workers++
@@ -446,10 +504,12 @@ type datasetInfo struct {
 }
 
 // datasetListResponse is the GET /datasets envelope: the datasets with
-// their load-time stats, plus the result cache's hit/miss/reuse counters.
+// their load-time stats, the result cache's hit/miss/reuse counters, and
+// the physical-storage block their blocks live under.
 type datasetListResponse struct {
-	Datasets []datasetInfo  `json:"datasets"`
-	Cache    cacheStatsJSON `json:"cache"`
+	Datasets []datasetInfo    `json:"datasets"`
+	Cache    cacheStatsJSON   `json:"cache"`
+	Storage  storageStatsJSON `json:"storage"`
 }
 
 func (s *server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
@@ -465,7 +525,9 @@ func (s *server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
 	}
 	s.mu.RUnlock()
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
-	writeJSON(w, http.StatusOK, datasetListResponse{Datasets: infos, Cache: s.cacheStats()})
+	writeJSON(w, http.StatusOK, datasetListResponse{
+		Datasets: infos, Cache: s.cacheStats(), Storage: s.storageStats(),
+	})
 }
 
 // maxUpload bounds a CSV upload body (256 MiB).

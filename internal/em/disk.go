@@ -169,12 +169,16 @@ func (d *Disk) Stats() Stats {
 }
 
 // ResetStats zeroes the transfer counters (e.g. to exclude data generation
-// from a measured phase).
+// from a measured phase), along with the physical-byte counters of a
+// slot-store disk so PhysIO stays phase-aligned with Stats.
 func (d *Disk) ResetStats() {
 	d.reads.Store(0)
 	d.writes.Store(0)
 	d.pipeReads.Store(0)
 	d.pipeWrites.Store(0)
+	if sb := d.storeOf(); sb != nil {
+		sb.resetPhys()
+	}
 }
 
 // SetPipelining enables or disables prefetch / write-behind on streams

@@ -1,0 +1,55 @@
+package maxrs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadCSV drives LoadCSV over arbitrary input — malformed lines,
+// non-finite coordinates, truncated records, hostile junk — and asserts
+// the engine-level resource contract: a rejected load leaves zero
+// allocated blocks, and an accepted load releases down to zero. The
+// delta-codec engine rides along so the fuzzer also exercises the slot
+// store under every rejection path.
+func FuzzLoadCSV(f *testing.F) {
+	seeds := []string{
+		"",
+		"1,2\n3,4\n",
+		"1,2,5\n# comment\n\n 7 , 8 , 9 \n",
+		"1\n",
+		"1,2,3,4\n",
+		"a,b\n",
+		"1,2\n3",
+		"Inf,0\n",
+		"0,-Inf\n",
+		"1,2,NaN\n",
+		"1e400,2\n",
+		"1,2,+Inf\n",
+		"9007199254740993,2,-0\n",
+		strings.Repeat("5,6\n", 200) + "bad line\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		for _, c := range []CodecKind{CodecNone, CodecDelta} {
+			e, err := NewEngine(&Options{BlockSize: 128, Memory: 1024, Codec: c})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := e.LoadCSV(context.Background(), strings.NewReader(input))
+			if err == nil {
+				if err := d.Release(); err != nil {
+					t.Fatalf("codec %v: release: %v", c, err)
+				}
+			}
+			if n := e.BlocksInUse(); n != 0 {
+				t.Fatalf("codec %v: %d blocks leaked on %q (load err: %v)", c, n, input, err)
+			}
+			if err := e.Close(); err != nil {
+				t.Fatalf("codec %v: close: %v", c, err)
+			}
+		}
+	})
+}

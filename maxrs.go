@@ -264,6 +264,25 @@ type Options struct {
 	// backing file. Transfer accounting is identical either way.
 	OnDisk    bool
 	OnDiskDir string
+	// Backend selects the physical storage under an OnDisk engine
+	// (DESIGN.md §15). BackendAuto (the default) and BackendFile use the
+	// portable positioned-I/O temp file; BackendMmap memory-maps the
+	// backing file — page-cache reads, batched write-behind submission —
+	// and falls back to the file backend when mapping is unavailable.
+	// Counted transfers are bit-identical across backends; only
+	// wall-clock and physical bytes change. Non-Auto values require
+	// OnDisk. Shard disks mirror the selection.
+	Backend BackendKind
+	// Codec selects the physical block codec family (DESIGN.md §15).
+	// CodecNone (the default) stores blocks in the fixed layout;
+	// CodecDelta column-splits and delta/varint-compresses each block,
+	// choosing the smallest encoding per block with a raw fallback, so a
+	// counted transfer never moves more than the fixed layout plus a
+	// constant header — and on sorted record streams moves far less
+	// (Engine.PhysIO). Counted transfers are bit-identical across
+	// codecs. Works with OnDisk and in-memory engines alike; shard disks
+	// mirror the selection.
+	Codec CodecKind
 	// Pipeline controls prefetch / write-behind on the engine's disk
 	// streams (DESIGN.md §8): readers double-buffer read-ahead and writers
 	// write behind, overlapping storage latency with CPU. PipelineAuto
@@ -455,26 +474,13 @@ func NewEngine(opts *Options) (*Engine, error) {
 	if !validAlgorithm(o.Algorithm) {
 		return nil, fmt.Errorf("maxrs: unknown algorithm %v", o.Algorithm)
 	}
-	var (
-		env em.Env
-		err error
-	)
-	if o.OnDisk {
-		var d *em.Disk
-		d, err = em.NewFileBackedDisk(o.OnDiskDir, o.BlockSize)
-		if err != nil {
-			return nil, err
-		}
-		env = em.Env{Disk: d, M: o.Memory}
-		if err = env.Validate(); err != nil {
-			_ = d.Close()
-			return nil, err
-		}
-	} else {
-		env, err = em.NewEnv(o.BlockSize, o.Memory)
-		if err != nil {
-			return nil, err
-		}
+	d, err := o.newDisk()
+	if err != nil {
+		return nil, err
+	}
+	env := em.Env{Disk: d, M: o.Memory}
+	if err = env.Validate(); err != nil {
+		return nil, errors.Join(err, d.Close())
 	}
 	switch o.Pipeline {
 	case PipelineAuto:
@@ -1151,17 +1157,9 @@ func (q *query) solveObjects(f *em.File, w, h float64, k int) (sweep.Result, []S
 }
 
 // newShardDisk allocates one shard's private disk, mirroring the
-// engine's backend and pipelining choices.
+// engine's backend, codec and pipelining choices.
 func (e *Engine) newShardDisk() (*em.Disk, error) {
-	var (
-		d   *em.Disk
-		err error
-	)
-	if e.opts.OnDisk {
-		d, err = em.NewFileBackedDisk(e.opts.OnDiskDir, e.opts.BlockSize)
-	} else {
-		d, err = em.NewDisk(e.opts.BlockSize)
-	}
+	d, err := e.opts.newDisk()
 	if err != nil {
 		return nil, err
 	}
